@@ -1,0 +1,223 @@
+//! Model enumeration, counting and cube extraction.
+
+use crate::manager::{Bdd, Manager};
+
+impl Manager {
+    /// Number of satisfying assignments of `f` over variables
+    /// `0..num_vars`, as an `f64` (exact for < 2⁵³).
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        fn rec(
+            m: &Manager,
+            f: Bdd,
+            memo: &mut std::collections::HashMap<u32, f64>,
+        ) -> f64 {
+            // Returns models over variables strictly below var(f)..num_vars,
+            // normalized to "per remaining level at var(f)".
+            if f.is_false() {
+                return 0.0;
+            }
+            if f.is_true() {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f.0) {
+                return c;
+            }
+            let var = m.root_var(f).expect("non-terminal");
+            let (lo, hi) = m.children(f);
+            let gap = |child: Bdd| {
+                let cv = m.root_var(child).unwrap_or(m.num_vars());
+                (cv - var - 1) as i32
+            };
+            let c = rec(m, lo, memo) * 2f64.powi(gap(lo)) + rec(m, hi, memo) * 2f64.powi(gap(hi));
+            memo.insert(f.0, c);
+            c
+        }
+        if f.is_false() {
+            return 0.0;
+        }
+        let top = self.root_var(f).unwrap_or(self.num_vars());
+        let mut memo = std::collections::HashMap::new();
+        rec(self, f, &mut memo) * 2f64.powi(top as i32)
+    }
+
+    /// One satisfying partial assignment (a cube), or `None` if `f` is
+    /// unsatisfiable.  Variables absent from the cube are don't-cares.
+    pub fn pick_cube(&self, f: Bdd) -> Option<Vec<(u32, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut cube = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let var = self.root_var(cur).expect("non-terminal");
+            let (lo, hi) = self.children(cur);
+            if !lo.is_false() {
+                cube.push((var, false));
+                cur = lo;
+            } else {
+                cube.push((var, true));
+                cur = hi;
+            }
+        }
+        Some(cube)
+    }
+
+    /// Calls `visit` with every *total* satisfying assignment of `f` over
+    /// the given variable list (don't-cares are expanded).
+    ///
+    /// The assignment slice is indexed like `vars`; it is reused between
+    /// calls.  Returns early if `visit` returns `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f`'s support is not contained in `vars`.
+    pub fn for_each_model(
+        &self,
+        f: Bdd,
+        vars: &[u32],
+        visit: &mut dyn FnMut(&[bool]) -> bool,
+    ) -> bool {
+        let mut sorted = vars.to_vec();
+        sorted.sort_unstable();
+        for v in self.support(f) {
+            assert!(
+                sorted.binary_search(&v).is_ok(),
+                "support variable {v} missing from enumeration list"
+            );
+        }
+        let pos: std::collections::HashMap<u32, usize> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut assignment = vec![false; vars.len()];
+        self.enum_rec(f, &sorted, 0, &pos, &mut assignment, visit)
+    }
+
+    fn enum_rec(
+        &self,
+        f: Bdd,
+        sorted: &[u32],
+        i: usize,
+        pos: &std::collections::HashMap<u32, usize>,
+        assignment: &mut [bool],
+        visit: &mut dyn FnMut(&[bool]) -> bool,
+    ) -> bool {
+        if f.is_false() {
+            return true;
+        }
+        if i == sorted.len() {
+            return visit(assignment);
+        }
+        let v = sorted[i];
+        let (lo, hi) = match self.root_var(f) {
+            Some(fv) if fv == v => self.children(f),
+            _ => (f, f),
+        };
+        let idx = pos[&v];
+        assignment[idx] = false;
+        if !self.enum_rec(lo, sorted, i + 1, pos, assignment, visit) {
+            return false;
+        }
+        assignment[idx] = true;
+        self.enum_rec(hi, sorted, i + 1, pos, assignment, visit)
+    }
+
+    /// Collects all total models over `vars` as bit-packed `u64`s
+    /// (bit `i` holds the value of `vars[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars.len() > 64` or support is not contained in `vars`.
+    pub fn models_packed(&self, f: Bdd, vars: &[u32]) -> Vec<u64> {
+        assert!(vars.len() <= 64, "too many variables to pack");
+        let mut out = Vec::new();
+        self.for_each_model(f, vars, &mut |a| {
+            let mut w = 0u64;
+            for (i, &b) in a.iter().enumerate() {
+                if b {
+                    w |= 1 << i;
+                }
+            }
+            out.push(w);
+            true
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_count_basic() {
+        let mut m = Manager::new(3);
+        let (a, b) = (m.var(0), m.var(1));
+        assert_eq!(m.sat_count(Bdd::TRUE), 8.0);
+        assert_eq!(m.sat_count(Bdd::FALSE), 0.0);
+        assert_eq!(m.sat_count(a), 4.0);
+        let f = m.and(a, b);
+        assert_eq!(m.sat_count(f), 2.0);
+        let g = m.xor(a, b);
+        assert_eq!(m.sat_count(g), 4.0);
+    }
+
+    #[test]
+    fn pick_cube_satisfies() {
+        let mut m = Manager::new(4);
+        let (a, b) = (m.var(0), m.var(3));
+        let nb = m.not(b);
+        let f = m.and(a, nb);
+        let cube = m.pick_cube(f).unwrap();
+        assert!(cube.contains(&(0, true)) && cube.contains(&(3, false)));
+        assert!(m.pick_cube(Bdd::FALSE).is_none());
+    }
+
+    #[test]
+    fn enumeration_expands_dont_cares() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let models = m.models_packed(a, &[0, 1, 2]);
+        assert_eq!(models.len(), 4);
+        for w in models {
+            assert_eq!(w & 1, 1);
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_var_slice_order() {
+        let mut m = Manager::new(3);
+        let (a, c) = (m.var(0), m.var(2));
+        let nc = m.not(c);
+        let f = m.and(a, nc); // a=1, c=0
+        let models = m.models_packed(f, &[2, 0]); // bit0 = var2, bit1 = var0
+        assert_eq!(models, vec![0b10]);
+    }
+
+    #[test]
+    fn enumeration_early_exit() {
+        let m = Manager::new(3);
+        let mut count = 0;
+        m.for_each_model(Bdd::TRUE, &[0, 1, 2], &mut |_| {
+            count += 1;
+            count < 3
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from enumeration list")]
+    fn enumeration_requires_support() {
+        let mut m = Manager::new(3);
+        let f = m.var(2);
+        m.models_packed(f, &[0, 1]);
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration() {
+        let mut m = Manager::new(5);
+        let (a, b, c) = (m.var(0), m.var(2), m.var(4));
+        let ab = m.or(a, b);
+        let f = m.xor(ab, c);
+        let n = m.models_packed(f, &[0, 1, 2, 3, 4]).len();
+        assert_eq!(m.sat_count(f), n as f64);
+    }
+}

@@ -1,0 +1,43 @@
+//! Whole-flow ATPG benchmarks: one representative circuit per table, plus
+//! the ablations the paper's discussion motivates (random TPG on/off and
+//! fault collapsing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satpg_bench::{synthesize, Style};
+use satpg_core::{run_atpg, AtpgConfig};
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atpg");
+    g.sample_size(10);
+    for (label, name, style) in [
+        ("table1/mmu", "mmu", Style::SpeedIndependent),
+        ("table1/master-read", "master-read", Style::SpeedIndependent),
+        ("table2/sbuf-send-ctl", "sbuf-send-ctl", Style::BoundedDelay),
+        ("table2/vbe6a-redundant", "vbe6a", Style::BoundedDelay),
+    ] {
+        let ckt = synthesize(name, style);
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(run_atpg(&ckt, &AtpgConfig::paper()).unwrap()))
+        });
+    }
+    // Ablations on one circuit.
+    let ckt = synthesize("mmu", Style::SpeedIndependent);
+    g.bench_function("ablation/no-random", |b| {
+        let cfg = AtpgConfig {
+            random: None,
+            ..AtpgConfig::paper()
+        };
+        b.iter(|| std::hint::black_box(run_atpg(&ckt, &cfg).unwrap()))
+    });
+    g.bench_function("ablation/collapsed", |b| {
+        let cfg = AtpgConfig {
+            collapse: true,
+            ..AtpgConfig::paper()
+        };
+        b.iter(|| std::hint::black_box(run_atpg(&ckt, &cfg).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_atpg);
+criterion_main!(benches);

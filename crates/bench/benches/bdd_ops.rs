@@ -1,0 +1,65 @@
+//! Micro-benchmarks for the ROBDD substrate: the operations symbolic
+//! CSSG construction leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satpg_bdd::{Bdd, Manager};
+
+/// An n-bit ripple-carry adder equality: a classic BDD stress shape.
+fn adder_equal(m: &mut Manager, n: u32) -> Bdd {
+    // Variables: a_i = 3i, b_i = 3i+1, s_i = 3i+2 (interleaved).
+    let mut carry = Bdd::FALSE;
+    let mut acc = Bdd::TRUE;
+    for i in 0..n {
+        let a = m.var(3 * i);
+        let b = m.var(3 * i + 1);
+        let s = m.var(3 * i + 2);
+        let axb = m.xor(a, b);
+        let sum = m.xor(axb, carry);
+        let ab = m.and(a, b);
+        let ac = m.and(a, carry);
+        let bc = m.and(b, carry);
+        let t = m.or(ab, ac);
+        carry = m.or(t, bc);
+        let eq = m.iff(s, sum);
+        acc = m.and(acc, eq);
+    }
+    acc
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd");
+    g.sample_size(20);
+    g.bench_function("adder12_build", |b| {
+        b.iter(|| {
+            let mut m = Manager::new(3 * 12);
+            std::hint::black_box(adder_equal(&mut m, 12))
+        })
+    });
+    g.bench_function("adder12_and_exists", |b| {
+        let mut m = Manager::new(3 * 12);
+        let f = adder_equal(&mut m, 12);
+        let g2 = adder_equal(&mut m, 10);
+        let vars: Vec<u32> = (0..12).map(|i| 3 * i + 2).collect();
+        b.iter(|| {
+            m.clear_cache();
+            std::hint::black_box(m.and_exists(f, g2, &vars))
+        })
+    });
+    g.bench_function("adder12_sat_count", |b| {
+        let mut m = Manager::new(3 * 12);
+        let f = adder_equal(&mut m, 12);
+        b.iter(|| std::hint::black_box(m.sat_count(f)))
+    });
+    g.bench_function("adder12_remap_shift", |b| {
+        let mut m = Manager::new(3 * 12 + 1);
+        let f = adder_equal(&mut m, 12);
+        b.iter(|| {
+            m.clear_cache();
+            std::hint::black_box(m.remap(f, &|v| v + 1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bdd);
+criterion_main!(benches);

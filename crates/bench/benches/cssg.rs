@@ -1,0 +1,34 @@
+//! CSSG construction: explicit exploration vs BDD-based symbolic
+//! computation (§4.2), plus the k-sensitivity of the abstraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satpg_bench::{synthesize, Style};
+use satpg_core::symbolic::SymbolicCssg;
+use satpg_core::{build_cssg, CssgConfig};
+
+fn bench_cssg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cssg");
+    g.sample_size(10);
+    for name in ["chu150", "master-read"] {
+        let ckt = synthesize(name, Style::SpeedIndependent);
+        g.bench_function(format!("explicit/{name}"), |b| {
+            b.iter(|| std::hint::black_box(build_cssg(&ckt, &CssgConfig::default()).unwrap()))
+        });
+        if ckt.num_state_bits() <= 32 {
+            g.bench_function(format!("symbolic/{name}"), |b| {
+                b.iter(|| std::hint::black_box(SymbolicCssg::build(&ckt, None).unwrap()))
+            });
+        }
+        g.bench_function(format!("explicit_small_k/{name}"), |b| {
+            let cfg = CssgConfig {
+                k: Some(4),
+                ..CssgConfig::default()
+            };
+            b.iter(|| std::hint::black_box(build_cssg(&ckt, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cssg);
+criterion_main!(benches);

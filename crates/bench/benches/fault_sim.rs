@@ -1,0 +1,26 @@
+//! Parallel ternary fault-simulation throughput (§5.4): how fast one test
+//! sequence screens a whole fault list, 63 machines per pass.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use satpg_bench::{synthesize, Style};
+use satpg_core::{build_cssg, fault_simulate, input_stuck_faults, CssgConfig, TestSequence};
+
+fn bench_fsim(c: &mut Criterion) {
+    let ckt = synthesize("master-read", Style::BoundedDelay);
+    let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
+    let faults = input_stuck_faults(&ckt);
+    // A full handshake walk as the screening sequence.
+    let seq = TestSequence {
+        patterns: vec![0b01, 0b11, 0b10, 0b00],
+    };
+    let mut g = c.benchmark_group("fault_sim");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements(faults.len() as u64));
+    g.bench_function("screen_all_input_faults", |b| {
+        b.iter(|| std::hint::black_box(fault_simulate(&ckt, &cssg, &seq, &faults)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fsim);
+criterion_main!(benches);

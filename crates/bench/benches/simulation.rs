@@ -1,0 +1,39 @@
+//! Simulation engine comparison on a suite circuit: scalar ternary vs
+//! 64-lane parallel ternary vs exhaustive interleaving — the §5.4 claim
+//! that parallel+ternary makes random TPG and fault simulation cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satpg_bench::{synthesize, Style};
+use satpg_sim::{
+    parallel_settle, settle_explicit, ternary_settle, ExplicitConfig, Injection,
+    ParallelInjection, PlaneState,
+};
+
+fn bench_sim(c: &mut Criterion) {
+    let ckt = synthesize("master-read", Style::SpeedIndependent);
+    let s0 = ckt.initial_state();
+    let pattern = 0b01;
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(30);
+    g.bench_function("ternary_settle", |b| {
+        b.iter(|| std::hint::black_box(ternary_settle(&ckt, s0, pattern, &Injection::none())))
+    });
+    g.bench_function("parallel_settle_64_lanes", |b| {
+        let pinj = ParallelInjection::new(&vec![Injection::none(); 64]);
+        let planes = PlaneState::broadcast(s0);
+        b.iter(|| std::hint::black_box(parallel_settle(&ckt, &planes, pattern, &pinj)))
+    });
+    g.bench_function("explicit_settle_exact", |b| {
+        let cfg = ExplicitConfig {
+            ternary_fast_path: false,
+            ..ExplicitConfig::for_circuit(&ckt)
+        };
+        b.iter(|| {
+            std::hint::black_box(settle_explicit(&ckt, s0, pattern, &Injection::none(), &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ad-hoc inspection of one benchmark (development aid).
+
+use satpg_bench::{synthesize, Style};
+use satpg_core::{build_cssg, output_stuck_faults, three_phase, CssgConfig, ThreePhaseConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "converta".into());
+    let ckt = synthesize(&name, Style::SpeedIndependent);
+    println!("{ckt}");
+    for (gi, g) in ckt.gates().iter().enumerate() {
+        let out = ckt.gate_output(satpg_netlist::GateId(gi as u32));
+        let ins: Vec<&str> = g.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
+        println!("  gate {} = {:?}({})", ckt.signal_name(out), g.kind, ins.join(", "));
+    }
+    let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
+    println!("CSSG: {} states, {} edges (pruned nc={}, unst={})",
+        cssg.num_states(), cssg.num_edges(), cssg.pruned_nonconfluent(), cssg.pruned_unstable());
+    for f in output_stuck_faults(&ckt) {
+        let st = three_phase(&ckt, &cssg, &f, &ThreePhaseConfig::default());
+        let txt = match &st {
+            satpg_core::FaultStatus::Detected { sequence } => format!("DETECTED {:?}", sequence.patterns),
+            other => format!("{other:?}"),
+        };
+        if !txt.starts_with("DETECTED") {
+            println!("  {:<16} {}", f.name(&ckt), txt);
+        }
+    }
+    println!("done");
+}

@@ -1,0 +1,21 @@
+//! Sweep all two-level benchmarks: CSSG sizes (development aid).
+
+use satpg_bench::{synthesize, Style};
+use satpg_core::{build_cssg, CssgConfig};
+
+fn main() {
+    for &name in satpg_stg::suite::NAMES {
+        let ckt = synthesize(name, Style::BoundedDelay);
+        match build_cssg(&ckt, &CssgConfig::default()) {
+            Ok(c) => println!(
+                "{name:<16} gates={:<3} states={:<4} edges={:<5} nc={} unst={}",
+                ckt.num_gates(),
+                c.num_states(),
+                c.num_edges(),
+                c.pruned_nonconfluent(),
+                c.pruned_unstable()
+            ),
+            Err(e) => println!("{name:<16} gates={:<3} ERROR {e}", ckt.num_gates()),
+        }
+    }
+}

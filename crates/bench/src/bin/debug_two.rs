@@ -1,0 +1,31 @@
+//! Ad-hoc inspection of a two-level benchmark (development aid).
+
+use satpg_bench::{synthesize, Style};
+use satpg_core::{build_cssg, CssgConfig};
+use satpg_sim::{settle_explicit, ExplicitConfig, Injection, Settle};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "alloc-outbound".into());
+    let ckt = synthesize(&name, Style::BoundedDelay);
+    println!("{ckt}");
+    for (gi, g) in ckt.gates().iter().enumerate() {
+        let out = ckt.gate_output(satpg_netlist::GateId(gi as u32));
+        let ins: Vec<&str> = g.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
+        println!("  gate {} = {}({})", ckt.signal_name(out), g.kind.name(), ins.join(", "));
+    }
+    let cfg = ExplicitConfig::for_circuit(&ckt);
+    for pattern in 0..(1u64 << ckt.num_inputs()) {
+        let r = settle_explicit(&ckt, ckt.initial_state(), pattern, &Injection::none(), &cfg);
+        let label = match &r {
+            Settle::Confluent(_) => "confluent".to_string(),
+            Settle::NonConfluent(v) => format!("NONCONFLUENT ({})", v.len()),
+            Settle::Unstable(v) => format!("UNSTABLE ({})", v.len()),
+            Settle::Overflow => "OVERFLOW".to_string(),
+        };
+        println!("  reset + pattern {pattern:02b}: {label}");
+    }
+    match build_cssg(&ckt, &CssgConfig::default()) {
+        Ok(c) => println!("CSSG: {} states {} edges", c.num_states(), c.num_edges()),
+        Err(e) => println!("CSSG error: {e}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 1: ATPG results on speed-independent circuits
+//! (complex-gate synthesis, the Petrify stand-in).
+
+use satpg_bench::{table_rows, Style};
+use satpg_core::report::format_table;
+
+fn main() {
+    let rows = table_rows(Style::SpeedIndependent);
+    print!(
+        "{}",
+        format_table("Table 1: experimental results (speed-independent)", &rows)
+    );
+}

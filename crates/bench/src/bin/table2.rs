@@ -1,0 +1,17 @@
+//! Regenerates Table 2: ATPG results on hazard-free bounded-delay
+//! circuits (two-level synthesis with redundant hazard covers for
+//! `trimos-send`, `vbe10b` and `vbe6a`, the SIS stand-in).
+
+use satpg_bench::{table_rows, Style};
+use satpg_core::report::format_table;
+
+fn main() {
+    let rows = table_rows(Style::BoundedDelay);
+    print!(
+        "{}",
+        format_table(
+            "Table 2: experimental results (hazard-free, bounded delays)",
+            &rows
+        )
+    );
+}

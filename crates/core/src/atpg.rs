@@ -1,0 +1,390 @@
+//! The full ATPG pipeline: CSSG → random TPG → three-phase → fault
+//! simulation, with per-phase attribution (the columns of Tables 1–2).
+
+use crate::cssg::{Cssg, TestSequence};
+use crate::error::CoreError;
+use crate::explicit_cssg::{build_cssg, CssgConfig};
+use crate::fault::{collapse_faults, input_stuck_faults, output_stuck_faults, Fault};
+use crate::fsim::fault_simulate;
+use crate::random_tpg::{random_tpg, RandomTpgConfig};
+use crate::three_phase::{three_phase, FaultStatus, ThreePhaseConfig};
+use crate::Result;
+use satpg_netlist::Circuit;
+use std::time::Instant;
+
+/// Which fault list to target.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FaultModel {
+    /// Every gate input pin stuck at 0/1 (the paper's primary model;
+    /// subsumes output stuck-at).
+    #[default]
+    InputStuckAt,
+    /// Every gate output stuck at 0/1.
+    OutputStuckAt,
+}
+
+/// Which step of the flow first detected a fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Random TPG (`rnd` column).
+    Random,
+    /// Three-phase ATPG (`3-ph` column).
+    ThreePhase,
+    /// Post-ATPG fault simulation (`sim` column).
+    FaultSim,
+}
+
+/// Configuration for [`run_atpg`].
+#[derive(Clone, Debug, Default)]
+pub struct AtpgConfig {
+    /// CSSG construction parameters.
+    pub cssg: CssgConfig,
+    /// Random-TPG parameters; `None` disables the random phase.
+    pub random: Option<RandomTpgConfig>,
+    /// Three-phase search parameters.
+    pub three_phase: ThreePhaseConfig,
+    /// Fault model.
+    pub fault_model: FaultModel,
+    /// Structurally collapse equivalent faults before targeting.
+    pub collapse: bool,
+    /// Fault-simulate each found test against remaining faults.
+    pub fault_sim: bool,
+}
+
+impl AtpgConfig {
+    /// The configuration used for the paper's tables: random TPG on,
+    /// fault simulation on, collapsing off (the paper counts raw faults).
+    pub fn paper() -> Self {
+        AtpgConfig {
+            random: Some(RandomTpgConfig::default()),
+            fault_sim: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-fault outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultRecord {
+    /// The fault.
+    pub fault: Fault,
+    /// Detection phase, if detected.
+    pub detected_by: Option<Phase>,
+    /// Index into [`AtpgReport::tests`] of the detecting sequence.
+    pub test: Option<usize>,
+    /// Proved untestable.
+    pub untestable: bool,
+    /// Gave up within resource limits.
+    pub aborted: bool,
+}
+
+/// The result of a full ATPG run.
+#[derive(Clone, Debug)]
+pub struct AtpgReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// The synchronous abstraction used.
+    pub cssg_states: usize,
+    /// Valid (state, pattern) pairs.
+    pub cssg_edges: usize,
+    /// Per-fault verdicts, in enumeration order.
+    pub records: Vec<FaultRecord>,
+    /// The deduplicated test set.
+    pub tests: Vec<TestSequence>,
+    /// Wall-clock microseconds: CSSG construction.
+    pub us_cssg: u128,
+    /// Wall-clock microseconds: random TPG.
+    pub us_random: u128,
+    /// Wall-clock microseconds: three-phase + fault simulation.
+    pub us_three_phase: u128,
+}
+
+impl AtpgReport {
+    /// Total number of faults.
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of detected faults.
+    pub fn covered(&self) -> usize {
+        self.records.iter().filter(|r| r.detected_by.is_some()).count()
+    }
+
+    /// Detected faults attributed to `phase`.
+    pub fn covered_by(&self, phase: Phase) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.detected_by == Some(phase))
+            .count()
+    }
+
+    /// Faults proved untestable.
+    pub fn untestable(&self) -> usize {
+        self.records.iter().filter(|r| r.untestable).count()
+    }
+
+    /// Faults aborted within limits.
+    pub fn aborted(&self) -> usize {
+        self.records.iter().filter(|r| r.aborted).count()
+    }
+
+    /// Fault coverage in percent (detected / total).
+    pub fn coverage(&self) -> f64 {
+        if self.records.is_empty() {
+            return 100.0;
+        }
+        100.0 * self.covered() as f64 / self.records.len() as f64
+    }
+
+    /// Fault efficiency in percent ((detected + untestable) / total).
+    pub fn efficiency(&self) -> f64 {
+        if self.records.is_empty() {
+            return 100.0;
+        }
+        100.0 * (self.covered() + self.untestable()) as f64 / self.records.len() as f64
+    }
+
+    /// Total wall-clock microseconds.
+    pub fn us_total(&self) -> u128 {
+        self.us_cssg + self.us_random + self.us_three_phase
+    }
+}
+
+/// Runs the full flow on `ckt`.
+///
+/// # Errors
+///
+/// Propagates CSSG construction failures ([`CoreError::NoStableReset`],
+/// [`CoreError::CssgOverflow`], …) and reports
+/// [`CoreError::NoValidVectors`] when the abstraction has no edges at all.
+pub fn run_atpg(ckt: &Circuit, cfg: &AtpgConfig) -> Result<AtpgReport> {
+    let t0 = Instant::now();
+    let cssg = build_cssg(ckt, &cfg.cssg)?;
+    let us_cssg = t0.elapsed().as_micros();
+    if cssg.num_edges() == 0 {
+        return Err(CoreError::NoValidVectors);
+    }
+    let faults = match cfg.fault_model {
+        FaultModel::InputStuckAt => input_stuck_faults(ckt),
+        FaultModel::OutputStuckAt => output_stuck_faults(ckt),
+    };
+    run_atpg_on(ckt, &cssg, &faults, cfg, us_cssg)
+}
+
+/// Runs the flow against an explicit fault list and a prebuilt CSSG.
+pub(crate) fn run_atpg_on(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    faults: &[Fault],
+    cfg: &AtpgConfig,
+    us_cssg: u128,
+) -> Result<AtpgReport> {
+    // Fault classes: singletons unless collapsing is on.
+    let classes = if cfg.collapse {
+        collapse_faults(ckt, faults)
+    } else {
+        faults
+            .iter()
+            .map(|&f| crate::fault::FaultClass {
+                representative: f,
+                members: vec![f],
+            })
+            .collect()
+    };
+    // Map faults back to their class index.
+    let mut class_of = std::collections::HashMap::new();
+    for (ci, c) in classes.iter().enumerate() {
+        for &m in &c.members {
+            class_of.insert(m, ci);
+        }
+    }
+
+    #[derive(Clone)]
+    enum ClassState {
+        Open,
+        Detected(Phase, usize),
+        Untestable,
+        Aborted,
+    }
+    let mut state = vec![ClassState::Open; classes.len()];
+    let mut tests: Vec<TestSequence> = Vec::new();
+    let intern_test = |tests: &mut Vec<TestSequence>, seq: TestSequence| -> usize {
+        match tests.iter().position(|t| *t == seq) {
+            Some(i) => i,
+            None => {
+                tests.push(seq);
+                tests.len() - 1
+            }
+        }
+    };
+
+    // --- Random TPG. ---
+    let t1 = Instant::now();
+    if let Some(rnd_cfg) = &cfg.random {
+        let reps: Vec<Fault> = classes.iter().map(|c| c.representative).collect();
+        let res = random_tpg(ckt, cssg, &reps, rnd_cfg);
+        for (ci, seq) in res.detected {
+            if matches!(state[ci], ClassState::Open) {
+                let ti = intern_test(&mut tests, seq);
+                state[ci] = ClassState::Detected(Phase::Random, ti);
+            }
+        }
+    }
+    let us_random = t1.elapsed().as_micros();
+
+    // --- Three-phase + fault simulation. ---
+    let t2 = Instant::now();
+    for ci in 0..classes.len() {
+        if !matches!(state[ci], ClassState::Open) {
+            continue;
+        }
+        match three_phase(ckt, cssg, &classes[ci].representative, &cfg.three_phase) {
+            FaultStatus::Detected { sequence } => {
+                let ti = intern_test(&mut tests, sequence.clone());
+                state[ci] = ClassState::Detected(Phase::ThreePhase, ti);
+                if cfg.fault_sim {
+                    let open: Vec<(usize, Fault)> = (0..classes.len())
+                        .filter(|&cj| matches!(state[cj], ClassState::Open))
+                        .map(|cj| (cj, classes[cj].representative))
+                        .collect();
+                    let open_faults: Vec<Fault> = open.iter().map(|&(_, f)| f).collect();
+                    for hit in fault_simulate(ckt, cssg, &sequence, &open_faults) {
+                        let (cj, _) = open[hit];
+                        state[cj] = ClassState::Detected(Phase::FaultSim, ti);
+                    }
+                }
+            }
+            FaultStatus::Untestable(_) => state[ci] = ClassState::Untestable,
+            FaultStatus::Aborted => state[ci] = ClassState::Aborted,
+        }
+    }
+    let us_three_phase = t2.elapsed().as_micros();
+
+    let records = faults
+        .iter()
+        .map(|f| {
+            let ci = class_of[f];
+            match &state[ci] {
+                ClassState::Detected(phase, ti) => FaultRecord {
+                    fault: *f,
+                    detected_by: Some(*phase),
+                    test: Some(*ti),
+                    untestable: false,
+                    aborted: false,
+                },
+                ClassState::Untestable => FaultRecord {
+                    fault: *f,
+                    detected_by: None,
+                    test: None,
+                    untestable: true,
+                    aborted: false,
+                },
+                ClassState::Aborted => FaultRecord {
+                    fault: *f,
+                    detected_by: None,
+                    test: None,
+                    untestable: false,
+                    aborted: true,
+                },
+                ClassState::Open => FaultRecord {
+                    fault: *f,
+                    detected_by: None,
+                    test: None,
+                    untestable: false,
+                    aborted: false,
+                },
+            }
+        })
+        .collect();
+
+    Ok(AtpgReport {
+        circuit: ckt.name().to_string(),
+        cssg_states: cssg.num_states(),
+        cssg_edges: cssg.num_edges(),
+        records,
+        tests,
+        us_cssg,
+        us_random,
+        us_three_phase,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satpg_netlist::library;
+
+    #[test]
+    fn c_element_fully_covered() {
+        let ckt = library::c_element();
+        let report = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        assert_eq!(report.covered(), report.total(), "100% input-s coverage");
+        assert!(report.coverage() == 100.0);
+        assert!(!report.tests.is_empty());
+    }
+
+    #[test]
+    fn output_model_also_covered() {
+        let ckt = library::c_element();
+        let cfg = AtpgConfig {
+            fault_model: FaultModel::OutputStuckAt,
+            ..AtpgConfig::paper()
+        };
+        let report = run_atpg(&ckt, &cfg).unwrap();
+        assert_eq!(report.covered(), report.total());
+        assert_eq!(report.total(), 6);
+    }
+
+    #[test]
+    fn phases_attribute_disjointly() {
+        let ckt = library::muller_pipeline2();
+        let report = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        let sum = report.covered_by(Phase::Random)
+            + report.covered_by(Phase::ThreePhase)
+            + report.covered_by(Phase::FaultSim);
+        assert_eq!(sum, report.covered());
+        assert!(report.covered_by(Phase::Random) > 0, "random catches some");
+    }
+
+    #[test]
+    fn disabling_random_shifts_attribution() {
+        let ckt = library::c_element();
+        let cfg = AtpgConfig {
+            random: None,
+            ..AtpgConfig::paper()
+        };
+        let report = run_atpg(&ckt, &cfg).unwrap();
+        assert_eq!(report.covered_by(Phase::Random), 0);
+        assert_eq!(report.covered(), report.total());
+    }
+
+    #[test]
+    fn collapsing_preserves_coverage() {
+        let ckt = library::muller_pipeline2();
+        let plain = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        let collapsed = run_atpg(
+            &ckt,
+            &AtpgConfig {
+                collapse: true,
+                ..AtpgConfig::paper()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.total(), collapsed.total());
+        assert_eq!(plain.covered(), collapsed.covered());
+    }
+
+    #[test]
+    fn report_accounting_consistent() {
+        let ckt = library::sr_latch();
+        let report = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        let classified = report.covered() + report.untestable() + report.aborted();
+        assert!(classified <= report.total());
+        assert!(report.efficiency() >= report.coverage());
+        for r in &report.records {
+            if let Some(ti) = r.test {
+                assert!(ti < report.tests.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The Confluent Stable State Graph: the synchronous FSM abstraction.
+
+use satpg_netlist::{Bits, Circuit};
+use std::collections::HashMap;
+
+/// A sequence of input patterns applied from the reset state, one per
+/// test cycle.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TestSequence {
+    /// The input patterns, in application order (bit `i` drives primary
+    /// input `i`).
+    pub patterns: Vec<u64>,
+}
+
+impl TestSequence {
+    /// The number of test cycles.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+/// The k-step Confluent Stable State Graph (CSSG) of §4 of the paper.
+///
+/// Nodes are stable states reachable in test mode from the reset state;
+/// an edge `(s, v) → s'` exists iff applying input pattern `v` to `s`
+/// settles *every* interleaving of gate switchings to the single stable
+/// state `s'` within `k` transitions.  The result is a deterministic
+/// synchronous FSM on which standard sequential ATPG techniques operate.
+#[derive(Clone, Debug)]
+pub struct Cssg {
+    num_inputs: usize,
+    k: usize,
+    states: Vec<Bits>,
+    index: HashMap<Bits, usize>,
+    /// Per state: `(pattern, successor)`, sorted by pattern.
+    edges: Vec<Vec<(u64, usize)>>,
+    /// Number of (state, pattern) pairs pruned for non-confluence.
+    pruned_nonconfluent: usize,
+    /// Number pruned for oscillation / settling past `k`.
+    pruned_unstable: usize,
+}
+
+impl Cssg {
+    pub(crate) fn new(num_inputs: usize, k: usize) -> Self {
+        Cssg {
+            num_inputs,
+            k,
+            states: Vec::new(),
+            index: HashMap::new(),
+            edges: Vec::new(),
+            pruned_nonconfluent: 0,
+            pruned_unstable: 0,
+        }
+    }
+
+    pub(crate) fn intern(&mut self, state: Bits) -> usize {
+        match self.index.get(&state) {
+            Some(&i) => i,
+            None => {
+                let i = self.states.len();
+                self.index.insert(state.clone(), i);
+                self.states.push(state);
+                self.edges.push(Vec::new());
+                i
+            }
+        }
+    }
+
+    pub(crate) fn add_edge(&mut self, from: usize, pattern: u64, to: usize) {
+        self.edges[from].push((pattern, to));
+    }
+
+    pub(crate) fn sort_edges(&mut self) {
+        for e in &mut self.edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+    }
+
+    pub(crate) fn note_nonconfluent(&mut self) {
+        self.pruned_nonconfluent += 1;
+    }
+
+    pub(crate) fn note_unstable(&mut self) {
+        self.pruned_unstable += 1;
+    }
+
+    /// The transition bound `k` used during construction.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of primary inputs of the underlying circuit.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The stable states; index 0 is the reset state.
+    pub fn states(&self) -> &[Bits] {
+        &self.states
+    }
+
+    /// Number of stable states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of valid (state, pattern) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing edges of state `i`, sorted by pattern.
+    pub fn edges(&self, i: usize) -> &[(u64, usize)] {
+        &self.edges[i]
+    }
+
+    /// The reset state index (always 0).
+    pub fn initial(&self) -> usize {
+        0
+    }
+
+    /// The successor of state `i` under `pattern`, if the pattern is
+    /// valid there.
+    pub fn successor(&self, i: usize, pattern: u64) -> Option<usize> {
+        self.edges[i]
+            .binary_search_by_key(&pattern, |&(p, _)| p)
+            .ok()
+            .map(|pos| self.edges[i][pos].1)
+    }
+
+    /// Index of a stable state, if present.
+    pub fn state_index(&self, state: &Bits) -> Option<usize> {
+        self.index.get(state).copied()
+    }
+
+    /// How many (state, pattern) pairs were pruned as non-confluent.
+    pub fn pruned_nonconfluent(&self) -> usize {
+        self.pruned_nonconfluent
+    }
+
+    /// How many (state, pattern) pairs were pruned as unstable within `k`.
+    pub fn pruned_unstable(&self) -> usize {
+        self.pruned_unstable
+    }
+
+    /// Replays a test sequence on the good machine, returning the state
+    /// index after each cycle, or `None` at the first invalid pattern.
+    pub fn replay(&self, seq: &TestSequence) -> Option<Vec<usize>> {
+        let mut cur = self.initial();
+        let mut out = Vec::with_capacity(seq.len());
+        for &p in &seq.patterns {
+            cur = self.successor(cur, p)?;
+            out.push(cur);
+        }
+        Some(out)
+    }
+
+    /// The shortest pattern sequence from `from` to any state in `goals`,
+    /// by breadth-first search (the *state justification* primitive).
+    pub fn justify(&self, from: usize, goals: &[bool]) -> Option<Vec<u64>> {
+        if goals[from] {
+            return Some(Vec::new());
+        }
+        let mut prev: Vec<Option<(usize, u64)>> = vec![None; self.states.len()];
+        let mut seen = vec![false; self.states.len()];
+        seen[from] = true;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(s) = queue.pop_front() {
+            for &(p, t) in &self.edges[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    prev[t] = Some((s, p));
+                    if goals[t] {
+                        // Reconstruct.
+                        let mut path = Vec::new();
+                        let mut cur = t;
+                        while let Some((ps, pp)) = prev[cur] {
+                            path.push(pp);
+                            cur = ps;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Primary-output values of state `i` under `circuit`.
+    pub fn outputs(&self, circuit: &Circuit, i: usize) -> u64 {
+        circuit.output_values(&self.states[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cssg {
+        // 0 --1--> 1 --0--> 2 ; 2 --3--> 0
+        let mut g = Cssg::new(2, 8);
+        let a = g.intern(Bits::from_str01("00").unwrap());
+        let b = g.intern(Bits::from_str01("01").unwrap());
+        let c = g.intern(Bits::from_str01("11").unwrap());
+        g.add_edge(a, 1, b);
+        g.add_edge(b, 0, c);
+        g.add_edge(c, 3, a);
+        g.sort_edges();
+        g
+    }
+
+    #[test]
+    fn intern_deduplicates() {
+        let mut g = Cssg::new(1, 4);
+        let s = Bits::from_str01("10").unwrap();
+        assert_eq!(g.intern(s.clone()), 0);
+        assert_eq!(g.intern(s), 0);
+        assert_eq!(g.num_states(), 1);
+    }
+
+    #[test]
+    fn successor_lookup() {
+        let g = tiny();
+        assert_eq!(g.successor(0, 1), Some(1));
+        assert_eq!(g.successor(0, 2), None);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn replay_follows_edges() {
+        let g = tiny();
+        let seq = TestSequence {
+            patterns: vec![1, 0, 3],
+        };
+        assert_eq!(g.replay(&seq), Some(vec![1, 2, 0]));
+        let bad = TestSequence { patterns: vec![2] };
+        assert_eq!(g.replay(&bad), None);
+    }
+
+    #[test]
+    fn justify_finds_shortest_path() {
+        let g = tiny();
+        let mut goals = vec![false; 3];
+        goals[2] = true;
+        assert_eq!(g.justify(0, &goals), Some(vec![1, 0]));
+        goals[2] = false;
+        goals[0] = true;
+        assert_eq!(g.justify(0, &goals), Some(vec![]));
+        let unreachable = vec![false; 3];
+        assert_eq!(g.justify(0, &unreachable), None);
+    }
+}

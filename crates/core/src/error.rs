@@ -1,0 +1,50 @@
+//! Error type for the ATPG core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from CSSG construction and ATPG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The circuit's declared initial state is not stable, so there is no
+    /// reset state to anchor the CSSG.
+    NoStableReset,
+    /// The CSSG grew past the configured state budget.
+    CssgOverflow(usize),
+    /// The circuit has more primary inputs than packed patterns support.
+    TooManyInputs(usize),
+    /// The circuit has too many state bits for the symbolic encoding.
+    TooManyStateBits(usize),
+    /// The CSSG has no edges at all: no input vector is valid anywhere,
+    /// so nothing can be tested synchronously.
+    NoValidVectors,
+    /// A netlist-level error.
+    Netlist(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoStableReset => write!(f, "circuit has no stable reset state"),
+            CoreError::CssgOverflow(n) => write!(f, "CSSG exceeded {n} stable states"),
+            CoreError::TooManyInputs(n) => {
+                write!(f, "circuit has {n} primary inputs; at most 63 supported")
+            }
+            CoreError::TooManyStateBits(n) => {
+                write!(f, "circuit has {n} state bits; symbolic encoding supports 32")
+            }
+            CoreError::NoValidVectors => {
+                write!(f, "no valid synchronous test vector exists for this circuit")
+            }
+            CoreError::Netlist(m) => write!(f, "netlist error: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<satpg_netlist::NetlistError> for CoreError {
+    fn from(e: satpg_netlist::NetlistError) -> Self {
+        CoreError::Netlist(e.to_string())
+    }
+}

@@ -1,0 +1,274 @@
+//! Stuck-at fault enumeration and structural collapsing.
+//!
+//! The paper's fault model is the **input stuck-at** model: every gate
+//! input pin may be stuck at 0 or 1.  Because every primary input is an
+//! identity buffer, PI stuck-ats are included, and because a gate output
+//! stuck-at is equivalent to specific pin faults, the input model
+//! subsumes the output stuck-at model (whose totals the paper reports
+//! separately to exhibit the 100%-testability result for
+//! speed-independent circuits).
+
+use satpg_netlist::{Circuit, GateId, GateKind};
+use satpg_sim::{Injection, Site};
+use std::fmt;
+
+/// A single stuck-at fault.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fault {
+    /// The gate carrying the fault site.
+    pub gate: GateId,
+    /// Input pin or output.
+    pub site: Site,
+    /// The stuck value.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// The simulation-level injection realizing this fault.
+    pub fn injection(&self) -> Injection {
+        Injection::single(self.gate, self.site, self.stuck)
+    }
+
+    /// The circuit signal observed when checking excitation: the source
+    /// signal of the faulted pin, or the gate output.
+    pub fn site_signal(&self, ckt: &Circuit) -> satpg_netlist::SignalId {
+        match self.site {
+            Site::Pin(p) => ckt.gate(self.gate).inputs[p],
+            Site::Output => ckt.gate_output(self.gate),
+        }
+    }
+
+    /// Human-readable name, e.g. `y.in1/SA0` or `y/SA1`.
+    pub fn name(&self, ckt: &Circuit) -> String {
+        let out = ckt.signal_name(ckt.gate_output(self.gate));
+        let sa = if self.stuck { "SA1" } else { "SA0" };
+        match self.site {
+            Site::Pin(p) => format!("{out}.in{p}/{sa}"),
+            Site::Output => format!("{out}/{sa}"),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sa = if self.stuck { "SA1" } else { "SA0" };
+        match self.site {
+            Site::Pin(p) => write!(f, "g{}.in{p}/{sa}", self.gate.0),
+            Site::Output => write!(f, "g{}/{sa}", self.gate.0),
+        }
+    }
+}
+
+/// All input stuck-at faults: two per gate input pin.
+pub fn input_stuck_faults(ckt: &Circuit) -> Vec<Fault> {
+    let mut out = Vec::with_capacity(2 * ckt.num_pins());
+    for (gi, gate) in ckt.gates().iter().enumerate() {
+        for p in 0..gate.inputs.len() {
+            for stuck in [false, true] {
+                out.push(Fault {
+                    gate: GateId(gi as u32),
+                    site: Site::Pin(p),
+                    stuck,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All output stuck-at faults: two per gate (including input buffers).
+pub fn output_stuck_faults(ckt: &Circuit) -> Vec<Fault> {
+    let mut out = Vec::with_capacity(2 * ckt.num_gates());
+    for gi in 0..ckt.num_gates() {
+        for stuck in [false, true] {
+            out.push(Fault {
+                gate: GateId(gi as u32),
+                site: Site::Output,
+                stuck,
+            });
+        }
+    }
+    out
+}
+
+/// An equivalence class of faults under structural collapsing; testing
+/// the representative tests every member.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultClass {
+    /// The fault actually targeted.
+    pub representative: Fault,
+    /// All faults equivalent to it (including the representative).
+    pub members: Vec<Fault>,
+}
+
+/// Structural (gate-local) fault collapsing.
+///
+/// Classical equivalences: on an AND gate every `pin/SA0` is equivalent
+/// to `output/SA0`; dually for OR with SA1; NAND/NOR with the inverted
+/// output value; and on BUF/NOT/Input gates pin faults are equivalent to
+/// the correspondingly (un)inverted output fault.  Faults on the same
+/// gate collapse into one class; classes are keyed by their dominant
+/// output fault when one exists.
+pub fn collapse_faults(ckt: &Circuit, faults: &[Fault]) -> Vec<FaultClass> {
+    use std::collections::HashMap;
+    // Map each fault to a canonical key.
+    let canon = |f: &Fault| -> Fault {
+        let kind = &ckt.gate(f.gate).kind;
+        match (kind, f.site) {
+            (GateKind::Buf | GateKind::Input, Site::Pin(_)) => Fault {
+                gate: f.gate,
+                site: Site::Output,
+                stuck: f.stuck,
+            },
+            (GateKind::Not, Site::Pin(_)) => Fault {
+                gate: f.gate,
+                site: Site::Output,
+                stuck: !f.stuck,
+            },
+            (GateKind::And, Site::Pin(_)) if !f.stuck => Fault {
+                gate: f.gate,
+                site: Site::Output,
+                stuck: false,
+            },
+            (GateKind::Nand, Site::Pin(_)) if !f.stuck => Fault {
+                gate: f.gate,
+                site: Site::Output,
+                stuck: true,
+            },
+            (GateKind::Or, Site::Pin(_)) if f.stuck => Fault {
+                gate: f.gate,
+                site: Site::Output,
+                stuck: true,
+            },
+            (GateKind::Nor, Site::Pin(_)) if f.stuck => Fault {
+                gate: f.gate,
+                site: Site::Output,
+                stuck: false,
+            },
+            _ => *f,
+        }
+    };
+    let mut classes: HashMap<Fault, Vec<Fault>> = HashMap::new();
+    let mut order: Vec<Fault> = Vec::new();
+    for &f in faults {
+        let key = canon(&f);
+        let entry = classes.entry(key).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push(f);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let members = classes.remove(&key).expect("inserted above");
+            FaultClass {
+                // Prefer an actual member as representative (the key may
+                // be a synthetic output fault not in the input list).
+                representative: *members.first().expect("nonempty"),
+                members,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satpg_netlist::library;
+
+    #[test]
+    fn input_fault_counts() {
+        let c = library::c_element();
+        // Gates: 2 input buffers (1 pin each) + C (2 pins) = 4 pins.
+        assert_eq!(input_stuck_faults(&c).len(), 8);
+        assert_eq!(output_stuck_faults(&c).len(), 6);
+    }
+
+    #[test]
+    fn fault_names_are_informative() {
+        let c = library::c_element();
+        let f = Fault {
+            gate: c.driver(c.signal_by_name("y").unwrap()).unwrap(),
+            site: Site::Pin(1),
+            stuck: true,
+        };
+        assert_eq!(f.name(&c), "y.in1/SA1");
+        let o = Fault {
+            site: Site::Output,
+            stuck: false,
+            ..f
+        };
+        assert_eq!(o.name(&c), "y/SA0");
+    }
+
+    #[test]
+    fn site_signal_resolution() {
+        let c = library::c_element();
+        let y = c.driver(c.signal_by_name("y").unwrap()).unwrap();
+        let f = Fault {
+            gate: y,
+            site: Site::Pin(0),
+            stuck: false,
+        };
+        assert_eq!(c.signal_name(f.site_signal(&c)), "a");
+        let o = Fault {
+            site: Site::Output,
+            ..f
+        };
+        assert_eq!(c.signal_name(o.site_signal(&c)), "y");
+    }
+
+    #[test]
+    fn and_gate_collapsing() {
+        use satpg_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("and2");
+        let a = b.input("A", "a");
+        let bb = b.input("B", "b");
+        let y = b.gate("y", GateKind::And, vec![a, bb]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        let all: Vec<Fault> = input_stuck_faults(&c)
+            .into_iter()
+            .chain(output_stuck_faults(&c))
+            .collect();
+        let classes = collapse_faults(&c, &all);
+        // AND pins SA0 + output SA0 merge into one class of 3.
+        let sa0_class = classes
+            .iter()
+            .find(|cl| {
+                cl.members.len() == 3
+                    && cl.members.iter().all(|f| !f.stuck)
+            })
+            .expect("SA0 class exists");
+        assert_eq!(sa0_class.members.len(), 3);
+        // Buffer pin faults merge with their output faults (2 each).
+        let total: usize = classes.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, all.len(), "collapsing partitions the fault list");
+        assert!(classes.len() < all.len());
+    }
+
+    #[test]
+    fn not_gate_inverts_polarity() {
+        use satpg_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("inv");
+        let a = b.input("A", "a");
+        let y = b.gate("y", GateKind::Not, vec![a]);
+        b.output(y);
+        b.init("y", true);
+        let c = b.finish().unwrap();
+        let y_gate = c.driver(c.signal_by_name("y").unwrap()).unwrap();
+        let pin_sa0 = Fault {
+            gate: y_gate,
+            site: Site::Pin(0),
+            stuck: false,
+        };
+        let out_sa1 = Fault {
+            gate: y_gate,
+            site: Site::Output,
+            stuck: true,
+        };
+        let classes = collapse_faults(&c, &[pin_sa0, out_sa1]);
+        assert_eq!(classes.len(), 1, "input SA0 ≡ output SA1 on an inverter");
+    }
+}

@@ -1,0 +1,54 @@
+//! The synchronous abstraction and ATPG engine of Roig, Cortadella, Peña
+//! and Pastor, *Automatic Generation of Synchronous Test Patterns for
+//! Asynchronous Circuits*, DAC 1997.
+//!
+//! The flow:
+//!
+//! 1. Abstract the asynchronous circuit as a deterministic synchronous
+//!    FSM over its stable states — the **k-step Confluent Stable State
+//!    Graph** ([`Cssg`]) — by pruning every (state, input-pattern) pair
+//!    that can race (non-confluence) or oscillate.  Both an explicit
+//!    ([`build_cssg`]) and a BDD-based symbolic
+//!    ([`symbolic::SymbolicCssg`]) construction are provided.
+//! 2. Cover the easy faults with [`random_tpg`] — a random walk over the
+//!    CSSG fault-simulated on 64 machines at once.
+//! 3. For each remaining fault run the **three-phase** search
+//!    ([`three_phase`]): fault activation, state justification and state
+//!    differentiation over the good×faulty product machine.
+//! 4. [`fault_simulate`] every found test against the remaining faults.
+//!
+//! The per-fault verdicts, per-phase attribution and the synchronous
+//! test program ([`tester::TestProgram`]) come together in [`run_atpg`].
+//!
+//! Detection is *conservative*: a sequence counts as a test only if, at
+//! some sampling instant, ternary simulation proves the faulty machine
+//! drives a primary output to a definite value different from the good
+//! machine's — i.e. the test works for **any** assignment of gate delays.
+
+mod atpg;
+mod cssg;
+mod error;
+mod explicit_cssg;
+mod fault;
+mod fsim;
+mod oracle;
+mod random_tpg;
+pub mod report;
+mod scan;
+pub mod symbolic;
+pub mod tester;
+mod three_phase;
+
+pub use atpg::{run_atpg, AtpgConfig, AtpgReport, FaultModel, FaultRecord, Phase};
+pub use cssg::{Cssg, TestSequence};
+pub use error::CoreError;
+pub use explicit_cssg::{build_cssg, CssgConfig};
+pub use fault::{collapse_faults, input_stuck_faults, output_stuck_faults, Fault, FaultClass};
+pub use fsim::fault_simulate;
+pub use oracle::{validate_test, Verdict};
+pub use random_tpg::{random_tpg, RandomTpgConfig, RandomTpgResult};
+pub use scan::{scan_candidates, ScanAnalysis, ScanCandidate};
+pub use three_phase::{three_phase, FaultStatus, ThreePhaseConfig};
+
+/// Convenient alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

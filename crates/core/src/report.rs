@@ -1,0 +1,120 @@
+//! Table formatting in the layout of the paper's Tables 1 and 2.
+
+use crate::atpg::{AtpgReport, Phase};
+
+/// One row of a results table: the columns of Tables 1–2.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Benchmark name.
+    pub example: String,
+    /// Output stuck-at totals.
+    pub output_tot: usize,
+    /// Output stuck-at covered.
+    pub output_cov: usize,
+    /// Input stuck-at totals.
+    pub input_tot: usize,
+    /// Input stuck-at covered.
+    pub input_cov: usize,
+    /// Input-model faults first caught by random TPG.
+    pub rnd: usize,
+    /// …by the three-phase search.
+    pub ph3: usize,
+    /// …by post-ATPG fault simulation.
+    pub sim: usize,
+    /// Input-model faults proved untestable (our extension column).
+    pub unt: usize,
+    /// Wall-clock microseconds for the input-model run.
+    pub cpu_us: u128,
+}
+
+impl TableRow {
+    /// Builds a row from the two per-model reports.
+    pub fn new(name: &str, output_report: &AtpgReport, input_report: &AtpgReport) -> Self {
+        TableRow {
+            example: name.to_string(),
+            output_tot: output_report.total(),
+            output_cov: output_report.covered(),
+            input_tot: input_report.total(),
+            input_cov: input_report.covered(),
+            rnd: input_report.covered_by(Phase::Random),
+            ph3: input_report.covered_by(Phase::ThreePhase),
+            sim: input_report.covered_by(Phase::FaultSim),
+            unt: input_report.untestable(),
+            cpu_us: input_report.us_total() + output_report.us_total(),
+        }
+    }
+}
+
+/// Formats rows as an aligned text table with the paper's column layout
+/// plus a total-coverage footer.
+pub fn format_table(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>7} {:>8} {:>7} {:>5} {:>5} {:>4} {:>4} {:>8}\n",
+        "example", "out tot", "out cov", "in tot", "in cov", "rnd", "3-ph", "sim", "unt", "CPU(us)"
+    ));
+    let mut tot = [0usize; 4];
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>7} {:>8} {:>7} {:>5} {:>5} {:>4} {:>4} {:>8}\n",
+            r.example,
+            r.output_tot,
+            r.output_cov,
+            r.input_tot,
+            r.input_cov,
+            r.rnd,
+            r.ph3,
+            r.sim,
+            r.unt,
+            r.cpu_us
+        ));
+        tot[0] += r.output_tot;
+        tot[1] += r.output_cov;
+        tot[2] += r.input_tot;
+        tot[3] += r.input_cov;
+    }
+    let pct = |cov: usize, tot: usize| {
+        if tot == 0 {
+            100.0
+        } else {
+            100.0 * cov as f64 / tot as f64
+        }
+    };
+    out.push_str(&format!(
+        "{:<16} {:>7.2}% {:>14.2}%\n",
+        "Total FC",
+        pct(tot[1], tot[0]),
+        pct(tot[3], tot[2]),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atpg::{run_atpg, AtpgConfig, FaultModel};
+    use satpg_netlist::library;
+
+    #[test]
+    fn row_and_table_format() {
+        let ckt = library::c_element();
+        let input = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        let output = run_atpg(
+            &ckt,
+            &AtpgConfig {
+                fault_model: FaultModel::OutputStuckAt,
+                ..AtpgConfig::paper()
+            },
+        )
+        .unwrap();
+        let row = TableRow::new("celement", &output, &input);
+        assert_eq!(row.input_tot, 8);
+        assert_eq!(row.output_tot, 6);
+        assert_eq!(row.rnd + row.ph3 + row.sim, row.input_cov);
+        let table = format_table("Table 1", &[row]);
+        assert!(table.contains("celement"));
+        assert!(table.contains("Total FC"));
+        assert!(table.contains("100.00%"));
+    }
+}

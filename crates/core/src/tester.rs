@@ -1,0 +1,162 @@
+//! Synchronous test-program emission.
+//!
+//! The whole point of the paper is that a conventional synchronous tester
+//! can exercise an asynchronous chip: apply a vector, wait one test
+//! cycle, strobe the outputs.  This module renders test sequences into
+//! that form — one line per cycle with the applied inputs and the
+//! expected (good-machine) outputs.
+
+use crate::cssg::{Cssg, TestSequence};
+use satpg_netlist::Circuit;
+use std::fmt;
+
+/// One tester cycle: drive `inputs`, wait, compare against `expected`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TesterCycle {
+    /// Input pattern (bit `i` drives primary input `i`).
+    pub inputs: u64,
+    /// Expected primary-output values (bit `i` is output `i`).
+    pub expected: u64,
+}
+
+/// A complete test program: named sequences separated by resets.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TestProgram {
+    /// Circuit name.
+    pub circuit: String,
+    /// Input names, in pattern bit order.
+    pub input_names: Vec<String>,
+    /// Output names, in expected bit order.
+    pub output_names: Vec<String>,
+    /// `(label, cycles)` blocks; each block starts from reset.
+    pub blocks: Vec<(String, Vec<TesterCycle>)>,
+}
+
+impl TestProgram {
+    /// Creates an empty program for `ckt`.
+    pub fn new(ckt: &Circuit) -> Self {
+        TestProgram {
+            circuit: ckt.name().to_string(),
+            input_names: (0..ckt.num_inputs())
+                .map(|i| ckt.signal_name(ckt.input_pin(i)).to_string())
+                .collect(),
+            output_names: ckt
+                .outputs()
+                .iter()
+                .map(|&o| ckt.signal_name(o).to_string())
+                .collect(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Appends a labeled sequence, deriving expected outputs by replaying
+    /// the good machine on the CSSG.  Returns `false` (and appends
+    /// nothing) if the sequence is invalid.
+    pub fn push_sequence(
+        &mut self,
+        ckt: &Circuit,
+        cssg: &Cssg,
+        label: impl Into<String>,
+        seq: &TestSequence,
+    ) -> bool {
+        let Some(states) = cssg.replay(seq) else {
+            return false;
+        };
+        let cycles = seq
+            .patterns
+            .iter()
+            .zip(&states)
+            .map(|(&p, &s)| TesterCycle {
+                inputs: p,
+                expected: cssg.outputs(ckt, s),
+            })
+            .collect();
+        self.blocks.push((label.into(), cycles));
+        true
+    }
+
+    /// Total number of tester cycles (excluding resets).
+    pub fn num_cycles(&self) -> usize {
+        self.blocks.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    fn bits_str(v: u64, n: usize) -> String {
+        (0..n)
+            .map(|i| if v >> i & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Display for TestProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# synchronous test program for `{}`", self.circuit)?;
+        writeln!(f, "# inputs:  {}", self.input_names.join(" "))?;
+        writeln!(f, "# outputs: {}", self.output_names.join(" "))?;
+        writeln!(f, "# {} blocks, {} cycles", self.blocks.len(), self.num_cycles())?;
+        for (label, cycles) in &self.blocks {
+            writeln!(f, "reset                  # {label}")?;
+            for c in cycles {
+                writeln!(
+                    f,
+                    "apply {} expect {}",
+                    Self::bits_str(c.inputs, self.input_names.len()),
+                    Self::bits_str(c.expected, self.output_names.len()),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit_cssg::{build_cssg, CssgConfig};
+    use satpg_netlist::library;
+
+    #[test]
+    fn program_renders_cycles() {
+        let ckt = library::c_element();
+        let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
+        let mut prog = TestProgram::new(&ckt);
+        let ok = prog.push_sequence(
+            &ckt,
+            &cssg,
+            "y/SA0",
+            &TestSequence {
+                patterns: vec![0b11, 0b00],
+            },
+        );
+        assert!(ok);
+        assert_eq!(prog.num_cycles(), 2);
+        let text = prog.to_string();
+        assert!(text.contains("apply 11 expect 1"), "{text}");
+        assert!(text.contains("apply 00 expect 0"), "{text}");
+        assert!(text.contains("reset"));
+    }
+
+    #[test]
+    fn invalid_sequence_not_appended() {
+        let ckt = library::figure1b();
+        let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
+        let mut prog = TestProgram::new(&ckt);
+        let ok = prog.push_sequence(
+            &ckt,
+            &cssg,
+            "bogus",
+            &TestSequence {
+                patterns: vec![0b01],
+            },
+        );
+        assert!(!ok);
+        assert_eq!(prog.blocks.len(), 0);
+    }
+
+    #[test]
+    fn names_follow_circuit_order() {
+        let ckt = library::sr_latch();
+        let prog = TestProgram::new(&ckt);
+        assert_eq!(prog.input_names, vec!["S", "R"]);
+        assert_eq!(prog.output_names, vec!["q", "qb"]);
+    }
+}

@@ -1,0 +1,666 @@
+//! The circuit type: signals, gates, state queries and the builder.
+
+use crate::bits::Bits;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::Result;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a signal, which is also its index into circuit states.
+///
+/// Signals `0..m` are the *environment pins* of the `m` primary inputs;
+/// signal `m + i` is the output of gate `i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SignalId(pub u32);
+
+impl SignalId {
+    /// The state-bit index of this signal.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a gate by position.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// The gate's index into [`Circuit::gates`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A gate instance: a function and its input signals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Gate {
+    /// The Boolean function.
+    pub kind: GateKind,
+    /// Input signals, in pin order.
+    pub inputs: Vec<SignalId>,
+}
+
+/// A gate-level asynchronous circuit.
+///
+/// Construct one with [`CircuitBuilder`] or [`crate::parse_ckt`].  The
+/// structure is immutable after construction; fault injection is done at
+/// simulation level (see the `satpg-sim` crate) rather than by editing the
+/// netlist, so one `Circuit` serves the good machine and every faulty one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Circuit {
+    name: String,
+    /// Names of the environment pins (primary inputs), indices `0..m`.
+    input_names: Vec<String>,
+    /// Gate `i` drives signal `m + i`.
+    gates: Vec<Gate>,
+    /// Name of every signal (environment pins, then gate outputs).
+    signal_names: Vec<String>,
+    /// Primary outputs (must be gate-output signals).
+    outputs: Vec<SignalId>,
+    /// Initial (reset) state; validated stable.
+    initial: Bits,
+    /// For each signal, the gates that read it.
+    fanout: Vec<Vec<GateId>>,
+    name_index: HashMap<String, SignalId>,
+}
+
+impl Circuit {
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs `m`.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Number of gates `n` (including the input buffers).
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of state bits `m + n`.
+    pub fn num_state_bits(&self) -> usize {
+        self.num_inputs() + self.num_gates()
+    }
+
+    /// Total number of gate input pins (the input stuck-at fault sites).
+    pub fn num_pins(&self) -> usize {
+        self.gates.iter().map(|g| g.inputs.len()).sum()
+    }
+
+    /// The gates, in index order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with the given id.
+    pub fn gate(&self, g: GateId) -> &Gate {
+        &self.gates[g.index()]
+    }
+
+    /// The signal driven by gate `g`.
+    pub fn gate_output(&self, g: GateId) -> SignalId {
+        SignalId((self.num_inputs() + g.index()) as u32)
+    }
+
+    /// The gate driving `s`, or `None` for environment pins.
+    pub fn driver(&self, s: SignalId) -> Option<GateId> {
+        let m = self.num_inputs();
+        if s.index() >= m {
+            Some(GateId((s.index() - m) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// The gates reading signal `s`.
+    pub fn fanout(&self, s: SignalId) -> &[GateId] {
+        &self.fanout[s.index()]
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// Environment pin of primary input `i`.
+    pub fn input_pin(&self, i: usize) -> SignalId {
+        SignalId(i as u32)
+    }
+
+    /// Name of signal `s`.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.signal_names[s.index()]
+    }
+
+    /// Looks up a signal by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The validated stable reset state.
+    pub fn initial_state(&self) -> &Bits {
+        &self.initial
+    }
+
+    /// Evaluates gate `g`'s function in `state`.
+    #[inline]
+    pub fn eval_gate(&self, g: GateId, state: &Bits) -> bool {
+        let gate = &self.gates[g.index()];
+        let out = state.get(self.gate_output(g).index());
+        gate.kind
+            .eval(out, gate.inputs.len(), |p| state.get(gate.inputs[p].index()))
+    }
+
+    /// Whether gate `g` is excited (output differs from its function).
+    #[inline]
+    pub fn is_excited(&self, g: GateId, state: &Bits) -> bool {
+        self.eval_gate(g, state) != state.get(self.gate_output(g).index())
+    }
+
+    /// All excited gates in `state`.
+    pub fn excited_gates(&self, state: &Bits) -> Vec<GateId> {
+        (0..self.gates.len())
+            .map(|i| GateId(i as u32))
+            .filter(|&g| self.is_excited(g, state))
+            .collect()
+    }
+
+    /// Whether `state` is stable (no gate excited).
+    pub fn is_stable(&self, state: &Bits) -> bool {
+        (0..self.gates.len()).all(|i| !self.is_excited(GateId(i as u32), state))
+    }
+
+    /// The successor of `state` obtained by switching excited gate `g`
+    /// (the next-state function `δ(s, g)` of the paper); returns `state`
+    /// unchanged if `g` is stable.
+    pub fn step_gate(&self, g: GateId, state: &Bits) -> Bits {
+        let mut next = state.clone();
+        if self.is_excited(g, state) {
+            next.toggle(self.gate_output(g).index());
+        }
+        next
+    }
+
+    /// Replaces the environment-pin bits with input pattern `v`
+    /// (bit `i` of `v` drives primary input `i`).
+    pub fn with_inputs(&self, state: &Bits, v: u64) -> Bits {
+        let mut next = state.clone();
+        next.set_low_u64(self.num_inputs(), v);
+        next
+    }
+
+    /// The input pattern currently applied in `state`.
+    pub fn input_pattern(&self, state: &Bits) -> u64 {
+        state.low_u64(self.num_inputs())
+    }
+
+    /// The primary-output values of `state`, packed with output `i` at
+    /// bit `i`.
+    pub fn output_values(&self, state: &Bits) -> u64 {
+        let mut v = 0u64;
+        for (i, &o) in self.outputs.iter().enumerate() {
+            if state.get(o.index()) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Builds a state from named signal values; all others default to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a name is unknown.
+    pub fn state_of(&self, assignments: &[(&str, bool)]) -> Result<Bits> {
+        let mut s = Bits::zeros(self.num_state_bits());
+        for &(name, v) in assignments {
+            let sig = self
+                .signal_by_name(name)
+                .ok_or_else(|| NetlistError::UnknownSignal(name.to_string()))?;
+            s.set(sig.index(), v);
+        }
+        Ok(s)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit {} ({} inputs, {} gates, {} outputs)",
+            self.name,
+            self.num_inputs(),
+            self.num_gates(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// Incremental builder for [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use satpg_netlist::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("latch");
+/// let a = b.input("A", "a");
+/// let en = b.input("E", "e");
+/// let q = b.gate("q", GateKind::C, vec![a, en]);
+/// b.output(q);
+/// let ckt = b.finish().unwrap();
+/// assert_eq!(ckt.num_gates(), 3); // two input buffers + the C-element
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    input_names: Vec<String>,
+    buffer_names: Vec<String>,
+    gates: Vec<(String, GateKind, Vec<PendingSignal>)>,
+    outputs: Vec<String>,
+    initial: Vec<(String, bool)>,
+    settle_initial: bool,
+}
+
+/// A signal reference inside the builder (resolved at `finish`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingSignal(String);
+
+impl CircuitBuilder {
+    /// Starts a new circuit.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            input_names: Vec::new(),
+            buffer_names: Vec::new(),
+            gates: Vec::new(),
+            outputs: Vec::new(),
+            initial: Vec::new(),
+            settle_initial: false,
+        }
+    }
+
+    /// Declares a primary input: `env_name` is the environment pin,
+    /// `buf_name` the output of its identity buffer (the signal the logic
+    /// reads).  Returns the buffered signal.
+    pub fn input(&mut self, env_name: impl Into<String>, buf_name: impl Into<String>) -> PendingSignal {
+        let buf = buf_name.into();
+        self.input_names.push(env_name.into());
+        self.buffer_names.push(buf.clone());
+        PendingSignal(buf)
+    }
+
+    /// Adds a gate driving a new signal `out`; returns that signal.
+    pub fn gate(
+        &mut self,
+        out: impl Into<String>,
+        kind: GateKind,
+        inputs: Vec<PendingSignal>,
+    ) -> PendingSignal {
+        let out = out.into();
+        self.gates.push((out.clone(), kind, inputs));
+        PendingSignal(out)
+    }
+
+    /// References an already-declared (or forward-declared) signal by name,
+    /// enabling feedback loops.
+    pub fn signal(&self, name: impl Into<String>) -> PendingSignal {
+        PendingSignal(name.into())
+    }
+
+    /// Marks a signal as a primary output.
+    pub fn output(&mut self, s: PendingSignal) {
+        self.outputs.push(s.0);
+    }
+
+    /// Sets the initial value of a signal (default 0).  Environment pins
+    /// are named like their primary input.
+    pub fn init(&mut self, name: impl Into<String>, value: bool) {
+        self.initial.push((name.into(), value));
+    }
+
+    /// Instead of validating that the declared initial state is stable,
+    /// settle it first by switching excited gates in index order (useful
+    /// for circuits whose natural reset state is only known partially).
+    pub fn settle_initial(&mut self) {
+        self.settle_initial = true;
+    }
+
+    /// Resolves names and validates the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for duplicate/unknown signals, arity violations,
+    /// logic gates reading environment pins, undriven outputs, an unstable
+    /// initial state, or more than 64 primary inputs.
+    pub fn finish(self) -> Result<Circuit> {
+        let m = self.input_names.len();
+        if m > 64 {
+            return Err(NetlistError::TooManyInputs(m));
+        }
+        // Signal table: env pins, then input buffers, then logic gates.
+        let mut signal_names: Vec<String> = Vec::new();
+        let mut name_index: HashMap<String, SignalId> = HashMap::new();
+        let declare = |names: &mut Vec<String>,
+                           idx: &mut HashMap<String, SignalId>,
+                           n: &str|
+         -> Result<SignalId> {
+            if idx.contains_key(n) {
+                return Err(NetlistError::DuplicateSignal(n.to_string()));
+            }
+            let id = SignalId(names.len() as u32);
+            names.push(n.to_string());
+            idx.insert(n.to_string(), id);
+            Ok(id)
+        };
+        for n in &self.input_names {
+            declare(&mut signal_names, &mut name_index, n)?;
+        }
+        for n in &self.buffer_names {
+            declare(&mut signal_names, &mut name_index, n)?;
+        }
+        for (out, _, _) in &self.gates {
+            declare(&mut signal_names, &mut name_index, out)?;
+        }
+
+        let mut gates: Vec<Gate> = Vec::with_capacity(m + self.gates.len());
+        for i in 0..m {
+            gates.push(Gate {
+                kind: GateKind::Input,
+                inputs: vec![SignalId(i as u32)],
+            });
+        }
+        for (out, kind, inputs) in &self.gates {
+            let resolved: Vec<SignalId> = inputs
+                .iter()
+                .map(|p| {
+                    name_index
+                        .get(&p.0)
+                        .copied()
+                        .ok_or_else(|| NetlistError::UnknownSignal(p.0.clone()))
+                })
+                .collect::<Result<_>>()?;
+            if let Some(a) = kind.fixed_arity() {
+                if resolved.len() != a {
+                    return Err(NetlistError::BadArity {
+                        gate: out.clone(),
+                        expected: a,
+                        got: resolved.len(),
+                    });
+                }
+            }
+            if let GateKind::Sop(s) = kind {
+                for c in &s.cubes {
+                    for l in &c.0 {
+                        if l.pin >= resolved.len() {
+                            return Err(NetlistError::BadSopPin {
+                                gate: out.clone(),
+                                pin: l.pin,
+                            });
+                        }
+                    }
+                }
+            }
+            for &s in &resolved {
+                if s.index() < m {
+                    return Err(NetlistError::EnvPinRead { gate: out.clone() });
+                }
+            }
+            gates.push(Gate {
+                kind: kind.clone(),
+                inputs: resolved,
+            });
+        }
+
+        let outputs: Vec<SignalId> = self
+            .outputs
+            .iter()
+            .map(|n| {
+                let s = name_index
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownSignal(n.clone()))?;
+                if s.index() < m {
+                    return Err(NetlistError::UndrivenOutput(n.clone()));
+                }
+                Ok(s)
+            })
+            .collect::<Result<_>>()?;
+
+        let nbits = signal_names.len();
+        let mut initial = Bits::zeros(nbits);
+        for (n, v) in &self.initial {
+            let s = name_index
+                .get(n)
+                .copied()
+                .ok_or_else(|| NetlistError::UnknownSignal(n.clone()))?;
+            initial.set(s.index(), *v);
+        }
+
+        let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); nbits];
+        for (i, g) in gates.iter().enumerate() {
+            for &s in &g.inputs {
+                fanout[s.index()].push(GateId(i as u32));
+            }
+        }
+
+        let mut ckt = Circuit {
+            name: self.name,
+            input_names: self.input_names,
+            gates,
+            signal_names,
+            outputs,
+            initial,
+            fanout,
+            name_index,
+        };
+
+        if self.settle_initial {
+            let mut s = ckt.initial.clone();
+            // Round-robin settling; bounded to avoid divergence on
+            // oscillating circuits.
+            let bound = 4 * ckt.num_gates() + 8;
+            'outer: for _ in 0..bound {
+                for i in 0..ckt.num_gates() {
+                    let g = GateId(i as u32);
+                    if ckt.is_excited(g, &s) {
+                        s.toggle(ckt.gate_output(g).index());
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            ckt.initial = s;
+        }
+        for i in 0..ckt.num_gates() {
+            let g = GateId(i as u32);
+            if ckt.is_excited(g, &ckt.initial) {
+                return Err(NetlistError::UnstableInitialState {
+                    gate: ckt.signal_name(ckt.gate_output(g)).to_string(),
+                });
+            }
+        }
+        Ok(ckt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Cube, Literal, Sop};
+
+    fn c_element() -> Circuit {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("A", "a");
+        let bb = b.input("B", "b");
+        let y = b.gate("y", GateKind::C, vec![a, bb]);
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_layout_env_then_buffers_then_gates() {
+        let c = c_element();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_gates(), 3);
+        assert_eq!(c.num_state_bits(), 5);
+        assert_eq!(c.signal_name(SignalId(0)), "A");
+        assert_eq!(c.signal_name(SignalId(2)), "a");
+        assert_eq!(c.signal_name(SignalId(4)), "y");
+        assert_eq!(c.driver(SignalId(2)), Some(GateId(0)));
+        assert_eq!(c.driver(SignalId(0)), None);
+    }
+
+    #[test]
+    fn initial_state_is_stable_and_zero() {
+        let c = c_element();
+        assert!(c.is_stable(c.initial_state()));
+    }
+
+    #[test]
+    fn excitation_and_step() {
+        let c = c_element();
+        // Raise both inputs: buffers excited, then the C gate.
+        let s = c.with_inputs(c.initial_state(), 0b11);
+        let ex = c.excited_gates(&s);
+        assert_eq!(ex, vec![GateId(0), GateId(1)]);
+        let s = c.step_gate(GateId(0), &s);
+        let s = c.step_gate(GateId(1), &s);
+        assert!(c.is_excited(GateId(2), &s));
+        let s = c.step_gate(GateId(2), &s);
+        assert!(c.is_stable(&s));
+        assert_eq!(c.output_values(&s), 1);
+    }
+
+    #[test]
+    fn with_inputs_only_touches_env_bits() {
+        let c = c_element();
+        let s = c.with_inputs(c.initial_state(), 0b10);
+        assert_eq!(c.input_pattern(&s), 0b10);
+        assert!(!s.get(2) && !s.get(3) && !s.get(4));
+    }
+
+    #[test]
+    fn rejects_env_pin_read() {
+        let mut b = CircuitBuilder::new("bad");
+        let _a = b.input("A", "a");
+        let env = b.signal("A");
+        b.gate("x", GateKind::Not, vec![env]);
+        assert!(matches!(b.finish(), Err(NetlistError::EnvPinRead { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = CircuitBuilder::new("bad");
+        b.input("A", "a");
+        b.input("A", "a2");
+        assert!(matches!(b.finish(), Err(NetlistError::DuplicateSignal(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_fanin() {
+        let mut b = CircuitBuilder::new("bad");
+        let ghost = b.signal("ghost");
+        b.gate("x", GateKind::Buf, vec![ghost]);
+        assert!(matches!(b.finish(), Err(NetlistError::UnknownSignal(_))));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = CircuitBuilder::new("bad");
+        let a = b.input("A", "a");
+        let c = b.input("B", "bb");
+        b.gate("x", GateKind::Not, vec![a, c]);
+        assert!(matches!(b.finish(), Err(NetlistError::BadArity { .. })));
+    }
+
+    #[test]
+    fn rejects_unstable_initial() {
+        let mut b = CircuitBuilder::new("bad");
+        let a = b.input("A", "a");
+        b.gate("x", GateKind::Not, vec![a]);
+        // x = not(a) = 1 but initial says 0.
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::UnstableInitialState { .. })
+        ));
+    }
+
+    #[test]
+    fn settle_initial_fixes_inverter() {
+        let mut b = CircuitBuilder::new("ok");
+        let a = b.input("A", "a");
+        let x = b.gate("x", GateKind::Not, vec![a]);
+        b.output(x);
+        b.settle_initial();
+        let c = b.finish().unwrap();
+        assert!(c.is_stable(c.initial_state()));
+        assert_eq!(c.output_values(c.initial_state()), 1);
+    }
+
+    #[test]
+    fn sop_feedback_latch() {
+        // q = a·b + q·(a + b): C-element as a complex gate with feedback.
+        let mut b = CircuitBuilder::new("sopc");
+        let a = b.input("A", "a");
+        let bb = b.input("B", "b");
+        let fb = b.signal("q");
+        let sop = Sop {
+            cubes: vec![
+                Cube(vec![Literal::pos(0), Literal::pos(1)]),
+                Cube(vec![Literal::pos(0), Literal::pos(2)]),
+                Cube(vec![Literal::pos(1), Literal::pos(2)]),
+            ],
+        };
+        let q = b.gate("q", GateKind::Sop(sop), vec![a, bb, fb]);
+        b.output(q);
+        let c = b.finish().unwrap();
+        let s = c.with_inputs(c.initial_state(), 0b11);
+        let s = c.step_gate(GateId(0), &s);
+        let s = c.step_gate(GateId(1), &s);
+        assert!(c.is_excited(GateId(2), &s));
+    }
+
+    #[test]
+    fn rejects_bad_sop_pin() {
+        let mut b = CircuitBuilder::new("bad");
+        let a = b.input("A", "a");
+        let sop = Sop {
+            cubes: vec![Cube(vec![Literal::pos(3)])],
+        };
+        b.gate("x", GateKind::Sop(sop), vec![a]);
+        assert!(matches!(b.finish(), Err(NetlistError::BadSopPin { .. })));
+    }
+
+    #[test]
+    fn state_of_and_names() {
+        let c = c_element();
+        let s = c.state_of(&[("A", true), ("a", true), ("y", false)]).unwrap();
+        assert!(s.get(0) && s.get(2) && !s.get(4));
+        assert!(c.state_of(&[("nope", true)]).is_err());
+    }
+
+    #[test]
+    fn fanout_tracks_readers() {
+        let c = c_element();
+        let a_buf = c.signal_by_name("a").unwrap();
+        assert_eq!(c.fanout(a_buf), &[GateId(2)]);
+    }
+
+    #[test]
+    fn output_packing_order() {
+        let mut b = CircuitBuilder::new("two");
+        let a = b.input("A", "a");
+        let x = b.gate("x", GateKind::Buf, vec![a.clone()]);
+        let y = b.gate("y", GateKind::Not, vec![a]);
+        b.output(x);
+        b.output(y);
+        b.init("y", true);
+        let c = b.finish().unwrap();
+        assert_eq!(c.output_values(c.initial_state()), 0b10);
+    }
+}

@@ -1,0 +1,75 @@
+//! Graphviz DOT export for circuits.
+
+use crate::circuit::Circuit;
+use std::fmt::Write as _;
+
+impl Circuit {
+    /// Renders the circuit as a Graphviz `digraph`.
+    ///
+    /// Environment pins are boxes, gates are ellipses labeled with their
+    /// function, primary outputs are doubled.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let dot = satpg_netlist::library::c_element().to_dot();
+    /// assert!(dot.contains("digraph"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for i in 0..self.num_inputs() {
+            let pin = self.input_pin(i);
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=box,style=filled,fillcolor=lightblue];",
+                self.signal_name(pin)
+            );
+        }
+        for (gi, gate) in self.gates().iter().enumerate() {
+            let g = crate::circuit::GateId(gi as u32);
+            let sig = self.gate_output(g);
+            let name = self.signal_name(sig);
+            let is_po = self.outputs().contains(&sig);
+            let shape = if is_po { "doublecircle" } else { "ellipse" };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={},label=\"{}\\n{}\"];",
+                name,
+                shape,
+                name,
+                gate.kind.name()
+            );
+            for &src in &gate.inputs {
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", self.signal_name(src), name);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::library;
+
+    #[test]
+    fn dot_contains_all_signals() {
+        let c = library::figure1a();
+        let dot = c.to_dot();
+        for name in ["A", "B", "a", "b", "c", "d", "e", "y"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert!(dot.contains("doublecircle"), "primary output marked");
+    }
+
+    #[test]
+    fn dot_is_valid_enough() {
+        for c in library::all() {
+            let dot = c.to_dot();
+            assert!(dot.starts_with("digraph"));
+            assert!(dot.trim_end().ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate references a signal that does not exist.
+    UnknownSignal(String),
+    /// A signal name was defined twice.
+    DuplicateSignal(String),
+    /// A gate has the wrong number of inputs for its kind.
+    BadArity {
+        /// Offending gate's output signal name.
+        gate: String,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        got: usize,
+    },
+    /// A logic gate reads an environment pin directly; only input buffers
+    /// may do so under the paper's circuit model.
+    EnvPinRead {
+        /// Offending gate's output signal name.
+        gate: String,
+    },
+    /// A primary output is not driven by a gate.
+    UndrivenOutput(String),
+    /// The declared initial state is not stable.
+    UnstableInitialState {
+        /// Name of an excited gate.
+        gate: String,
+    },
+    /// The initial state vector has the wrong length.
+    BadInitialLength {
+        /// Expected number of state bits.
+        expected: usize,
+        /// Provided number of bits.
+        got: usize,
+    },
+    /// An SOP literal references a pin outside the gate's input list.
+    BadSopPin {
+        /// Offending gate's output signal name.
+        gate: String,
+        /// The out-of-range pin index.
+        pin: usize,
+    },
+    /// The circuit has more than 64 primary inputs, which input patterns
+    /// (packed `u64`s) cannot represent.
+    TooManyInputs(usize),
+    /// Syntax error while parsing a `.ckt` file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            NetlistError::DuplicateSignal(s) => write!(f, "duplicate signal `{s}`"),
+            NetlistError::BadArity { gate, expected, got } => {
+                write!(f, "gate `{gate}` expects {expected} inputs, got {got}")
+            }
+            NetlistError::EnvPinRead { gate } => write!(
+                f,
+                "gate `{gate}` reads an environment pin directly; only input buffers may"
+            ),
+            NetlistError::UndrivenOutput(s) => {
+                write!(f, "primary output `{s}` is not a gate output")
+            }
+            NetlistError::UnstableInitialState { gate } => {
+                write!(f, "initial state is not stable: gate `{gate}` is excited")
+            }
+            NetlistError::BadInitialLength { expected, got } => {
+                write!(f, "initial state has {got} bits, circuit has {expected}")
+            }
+            NetlistError::BadSopPin { gate, pin } => {
+                write!(f, "gate `{gate}` SOP references pin {pin} outside its input list")
+            }
+            NetlistError::TooManyInputs(n) => {
+                write!(f, "circuit has {n} primary inputs; at most 64 are supported")
+            }
+            NetlistError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

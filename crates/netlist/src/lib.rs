@@ -1,0 +1,47 @@
+//! Gate-level model of asynchronous circuits under the *unbounded inertial
+//! gate-delay model* of Muller, as used by Roig et al. (DAC 1997).
+//!
+//! An asynchronous circuit is an arbitrary interconnection of single-output
+//! gates.  Each gate instantaneously computes a Boolean function of its
+//! inputs and drives its output through an inertial delay of positive,
+//! finite but *unknown* magnitude.  Every primary input is modeled as the
+//! input of an identity-function gate (an *input buffer*), so that input
+//! wires also carry a delay.
+//!
+//! The **state** of a circuit is the binary vector of all primary-input
+//! (environment) values followed by all gate outputs; see
+//! [`Circuit::num_state_bits`].  A gate is *excited* when its output differs
+//! from its function; a state with no excited gate is *stable*.  These
+//! notions — not any clock — define the circuit's dynamics.
+//!
+//! # Example
+//!
+//! ```
+//! use satpg_netlist::{CircuitBuilder, GateKind};
+//!
+//! let mut b = CircuitBuilder::new("celem");
+//! let a = b.input("A", "a");
+//! let c = b.input("B", "b");
+//! let y = b.gate("y", GateKind::C, vec![a, c]);
+//! b.output(y);
+//! let ckt = b.finish().unwrap();
+//! let s = ckt.initial_state().clone();
+//! assert!(ckt.is_stable(&s));
+//! ```
+
+mod bits;
+mod circuit;
+mod dot;
+mod error;
+mod gate;
+pub mod library;
+mod parser;
+
+pub use bits::Bits;
+pub use circuit::{Circuit, CircuitBuilder, GateId, SignalId};
+pub use error::NetlistError;
+pub use gate::{Cube, GateKind, Literal, Sop};
+pub use parser::{parse_ckt, to_ckt};
+
+/// Convenient alias for results in this crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;

@@ -1,0 +1,195 @@
+//! Built-in circuits: the paper's Figure 1 examples and a few classics.
+//!
+//! The figure artwork is not machine-readable in the paper scan, so
+//! [`figure1a`] and [`figure1b`] are reconstructions that reproduce the
+//! *described* behaviour exactly: the same signal names, the same initial
+//! stable states, and the same phenomena (non-confluence of the settling
+//! state for 1(a), oscillation for 1(b)).
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::gate::GateKind;
+
+/// Figure 1(a): a circuit showing **non-confluence of the settling state**.
+///
+/// Inputs `A, B` (buffers `a, b`).  From the stable state with
+/// `A=0, B=1` (so `a=0, b=1`, all gates low), applying the pattern
+/// `AB = 10` starts a race: `c = a·b` pulses high only if it switches
+/// before `b` falls, and `y = c + d` with `d = y·e`, `e = b̄` latches the
+/// pulse.  Depending on gate delays the circuit settles with `y = 1` or
+/// `y = 0` — two different stable states.
+pub fn figure1a() -> Circuit {
+    let mut bld = CircuitBuilder::new("figure1a");
+    let a = bld.input("A", "a");
+    let b = bld.input("B", "b");
+    let c = bld.gate("c", GateKind::And, vec![a, b.clone()]);
+    let e = bld.gate("e", GateKind::Not, vec![b]);
+    let y_fb = bld.signal("y");
+    let d = bld.gate("d", GateKind::And, vec![y_fb, e]);
+    let y = bld.gate("y", GateKind::Or, vec![c, d]);
+    bld.output(y);
+    bld.init("B", true);
+    bld.init("b", true);
+    bld.finish().expect("figure1a is well-formed")
+}
+
+/// Figure 1(b): a circuit showing **oscillation**.
+///
+/// Inputs `A, B` (buffers `a, b`).  From the stable state `ABabcd =
+/// 000011`, raising `A` makes the loop `c = nand(a, d)`, `d = buf(c)`
+/// unstable: the transition sequence `c↓ d↓ c↑ d↑ …` repeats forever.
+pub fn figure1b() -> Circuit {
+    let mut bld = CircuitBuilder::new("figure1b");
+    let a = bld.input("A", "a");
+    let _b = bld.input("B", "b");
+    let d_fb = bld.signal("d");
+    let c = bld.gate("c", GateKind::Nand, vec![a, d_fb]);
+    let d = bld.gate("d", GateKind::Buf, vec![c.clone()]);
+    bld.output(c);
+    bld.output(d);
+    bld.init("c", true);
+    bld.init("d", true);
+    bld.finish().expect("figure1b is well-formed")
+}
+
+/// A single Muller C-element with inputs `A, B` and output `y`.
+pub fn c_element() -> Circuit {
+    let mut bld = CircuitBuilder::new("celement");
+    let a = bld.input("A", "a");
+    let b = bld.input("B", "b");
+    let y = bld.gate("y", GateKind::C, vec![a, b]);
+    bld.output(y);
+    bld.finish().expect("c_element is well-formed")
+}
+
+/// A NOR-based set/reset latch: `q = nor(r, qb)`, `qb = nor(s, q)`.
+///
+/// Reset state: `S=R=0`, `q=0`, `qb=1`.
+pub fn sr_latch() -> Circuit {
+    let mut bld = CircuitBuilder::new("sr_latch");
+    let s = bld.input("S", "s");
+    let r = bld.input("R", "r");
+    let qb_fb = bld.signal("qb");
+    let q = bld.gate("q", GateKind::Nor, vec![r, qb_fb]);
+    let qb = bld.gate("qb", GateKind::Nor, vec![s, q.clone()]);
+    bld.output(q);
+    bld.output(qb);
+    bld.init("qb", true);
+    bld.finish().expect("sr_latch is well-formed")
+}
+
+/// A two-stage Muller pipeline: request in `R`, acknowledge out through two
+/// C-elements cross-coupled with inverters — a classic speed-independent
+/// control kernel.
+pub fn muller_pipeline2() -> Circuit {
+    let mut bld = CircuitBuilder::new("muller_pipe2");
+    let r = bld.input("R", "r");
+    let a_env = bld.input("Ack", "ack");
+    let c2_fb = bld.signal("c2");
+    let n1 = bld.gate("n1", GateKind::Not, vec![c2_fb]);
+    let c1 = bld.gate("c1", GateKind::C, vec![r, n1]);
+    let n2 = bld.gate("n2", GateKind::Not, vec![a_env]);
+    let c2 = bld.gate("c2", GateKind::C, vec![c1.clone(), n2]);
+    bld.output(c1);
+    bld.output(c2);
+    bld.init("n1", true);
+    bld.init("n2", true);
+    bld.finish().expect("muller_pipeline2 is well-formed")
+}
+
+/// All built-in circuits, for exhaustive testing.
+pub fn all() -> Vec<Circuit> {
+    vec![
+        figure1a(),
+        figure1b(),
+        c_element(),
+        sr_latch(),
+        muller_pipeline2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::GateId;
+
+    #[test]
+    fn all_initial_states_stable() {
+        for c in all() {
+            assert!(c.is_stable(c.initial_state()), "{} unstable reset", c.name());
+        }
+    }
+
+    #[test]
+    fn figure1a_matches_paper_reset() {
+        let c = figure1a();
+        let s = c.initial_state();
+        // Stable state with A=0, B=1, a=0, b=1, gates low (cf. 01 01 0000).
+        assert!(!s.get(0) && s.get(1));
+        let a = c.signal_by_name("a").unwrap();
+        let b = c.signal_by_name("b").unwrap();
+        assert!(!s.get(a.index()) && s.get(b.index()));
+    }
+
+    #[test]
+    fn figure1a_race_has_two_outcomes() {
+        let c = figure1a();
+        let s = c.with_inputs(c.initial_state(), 0b01); // A=1, B=0
+        // Outcome 1: c wins the race (a↑, c↑, y↑ before b↓).
+        let by_name = |n: &str| c.driver(c.signal_by_name(n).unwrap()).unwrap();
+        let fast = [by_name("a"), by_name("c"), by_name("y")]
+            .iter()
+            .fold(s.clone(), |st, &g| c.step_gate(g, &st));
+        // Outcome 2: b falls first, killing the pulse.
+        let slow = [by_name("a"), by_name("b")]
+            .iter()
+            .fold(s, |st, &g| c.step_gate(g, &st));
+        // Finish both to stability.
+        let finish = |mut st: crate::Bits| {
+            for _ in 0..32 {
+                match c.excited_gates(&st).first() {
+                    Some(&g) => st = c.step_gate(g, &st),
+                    None => break,
+                }
+            }
+            st
+        };
+        let f1 = finish(fast);
+        let f2 = finish(slow);
+        assert!(c.is_stable(&f1) && c.is_stable(&f2));
+        assert_ne!(c.output_values(&f1), c.output_values(&f2), "non-confluence");
+    }
+
+    #[test]
+    fn figure1b_oscillates() {
+        let c = figure1b();
+        let s = c.with_inputs(c.initial_state(), 0b01); // A=1
+        // Switch the input buffer, then the c/d loop never stabilizes.
+        let mut st = c.step_gate(GateId(0), &s);
+        for _ in 0..64 {
+            let ex = c.excited_gates(&st);
+            assert!(!ex.is_empty(), "circuit stabilized; expected oscillation");
+            st = c.step_gate(ex[0], &st);
+        }
+    }
+
+    #[test]
+    fn sr_latch_sets_and_resets() {
+        let c = sr_latch();
+        let run = |mut st: crate::Bits| {
+            for _ in 0..32 {
+                match c.excited_gates(&st).first() {
+                    Some(&g) => st = c.step_gate(g, &st),
+                    None => break,
+                }
+            }
+            st
+        };
+        let set = run(c.with_inputs(c.initial_state(), 0b01));
+        assert!(c.is_stable(&set));
+        assert_eq!(c.output_values(&set) & 1, 1, "q set");
+        let idle = run(c.with_inputs(&set, 0b00));
+        assert_eq!(c.output_values(&idle) & 1, 1, "q holds");
+        let reset = run(c.with_inputs(&idle, 0b10));
+        assert_eq!(c.output_values(&reset) & 1, 0, "q reset");
+    }
+}

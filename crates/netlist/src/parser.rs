@@ -1,0 +1,349 @@
+//! Parser for the `.ckt` textual netlist format.
+//!
+//! ```text
+//! # comment
+//! circuit fig1a
+//! inputs A:a B:b          # env pin ':' buffered signal; "X" = "X:X_i"
+//! outputs y
+//! gate c = and(a, b)
+//! gate y = sop(c !d | y e)   # cubes '|'-separated, '!' negates
+//! gate q = c(a, b)           # Muller C-element
+//! init B=1 b=1
+//! settle                     # optional: settle the initial state
+//! end
+//! ```
+
+use crate::circuit::{Circuit, CircuitBuilder, PendingSignal};
+use crate::error::NetlistError;
+use crate::gate::{Cube, GateKind, Literal, Sop};
+use crate::Result;
+use std::collections::HashMap;
+
+fn err(line: usize, msg: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses a `.ckt` netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors and the usual
+/// construction errors for semantic ones.
+///
+/// # Example
+///
+/// ```
+/// let src = "circuit inv\ninputs A:a\noutputs y\ngate y = not(a)\nsettle\n";
+/// let ckt = satpg_netlist::parse_ckt(src).unwrap();
+/// assert_eq!(ckt.name(), "inv");
+/// ```
+pub fn parse_ckt(src: &str) -> Result<Circuit> {
+    let mut name = String::from("unnamed");
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<(usize, String, String, String)> = Vec::new(); // line, out, func, args
+    let mut inits: Vec<(String, bool)> = Vec::new();
+    let mut settle = false;
+
+    for (ln0, raw) in src.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = match line.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (line, ""),
+        };
+        match head {
+            "circuit" => {
+                if rest.is_empty() {
+                    return Err(err(ln, "missing circuit name"));
+                }
+                name = rest.to_string();
+            }
+            "inputs" => {
+                for tok in rest.split_whitespace() {
+                    let (env, buf) = match tok.split_once(':') {
+                        Some((e, b)) => (e.to_string(), b.to_string()),
+                        None => (tok.to_string(), format!("{tok}_i")),
+                    };
+                    inputs.push((env, buf));
+                }
+            }
+            "outputs" => {
+                outputs.extend(rest.split_whitespace().map(str::to_string));
+            }
+            "gate" => {
+                let (out, body) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(ln, "expected `gate out = func(args)`"))?;
+                let body = body.trim();
+                let open = body
+                    .find('(')
+                    .ok_or_else(|| err(ln, "expected `func(args)`"))?;
+                if !body.ends_with(')') {
+                    return Err(err(ln, "missing closing `)`"));
+                }
+                let func = body[..open].trim().to_string();
+                let args = body[open + 1..body.len() - 1].to_string();
+                gates.push((ln, out.trim().to_string(), func, args));
+            }
+            "init" => {
+                for tok in rest.split_whitespace() {
+                    let (sig, val) = tok
+                        .split_once('=')
+                        .ok_or_else(|| err(ln, format!("expected `sig=0|1`, got `{tok}`")))?;
+                    let v = match val {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(err(ln, format!("bad init value `{val}`"))),
+                    };
+                    inits.push((sig.to_string(), v));
+                }
+            }
+            "settle" => settle = true,
+            "end" => break,
+            _ => return Err(err(ln, format!("unknown directive `{head}`"))),
+        }
+    }
+
+    let mut b = CircuitBuilder::new(name);
+    let mut sigs: HashMap<String, PendingSignal> = HashMap::new();
+    for (env, buf) in &inputs {
+        let s = b.input(env.clone(), buf.clone());
+        sigs.insert(buf.clone(), s);
+    }
+    for (ln, out, func, args) in &gates {
+        let kind = parse_kind(*ln, func, args)?;
+        let arg_sigs: Vec<PendingSignal> = split_args(func, args)
+            .into_iter()
+            .map(|a| b.signal(a))
+            .collect();
+        let s = b.gate(out.clone(), kind, arg_sigs);
+        sigs.insert(out.clone(), s);
+    }
+    for o in outputs {
+        let s = b.signal(o);
+        b.output(s);
+    }
+    for (sig, v) in inits {
+        b.init(sig, v);
+    }
+    if settle {
+        b.settle_initial();
+    }
+    b.finish()
+}
+
+/// Splits the argument list, handling the SOP cube syntax where argument
+/// order is the set of distinct signals in order of first appearance.
+fn split_args(func: &str, args: &str) -> Vec<String> {
+    if func == "sop" {
+        let mut seen = Vec::new();
+        for tok in args.split(['|', ',']).flat_map(str::split_whitespace) {
+            let name = tok.trim_start_matches('!').to_string();
+            if !name.is_empty() && !seen.contains(&name) {
+                seen.push(name);
+            }
+        }
+        seen
+    } else {
+        args.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+fn parse_kind(ln: usize, func: &str, args: &str) -> Result<GateKind> {
+    Ok(match func {
+        "buf" => GateKind::Buf,
+        "not" | "inv" => GateKind::Not,
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "c" | "celem" => GateKind::C,
+        "zero" => GateKind::Const(false),
+        "one" => GateKind::Const(true),
+        "sop" => {
+            let order = split_args("sop", args);
+            let pin_of = |n: &str| order.iter().position(|x| x == n).expect("seen above");
+            let mut cubes = Vec::new();
+            for cube_src in args.split('|') {
+                let mut lits = Vec::new();
+                for tok in cube_src.split([',', ' ']).filter(|t| !t.trim().is_empty()) {
+                    let tok = tok.trim();
+                    let (name, pos) = match tok.strip_prefix('!') {
+                        Some(n) => (n, false),
+                        None => (tok, true),
+                    };
+                    lits.push(Literal {
+                        pin: pin_of(name),
+                        positive: pos,
+                    });
+                }
+                if lits.is_empty() {
+                    return Err(err(ln, "empty SOP cube"));
+                }
+                cubes.push(Cube(lits));
+            }
+            GateKind::Sop(Sop { cubes })
+        }
+        _ => return Err(err(ln, format!("unknown gate function `{func}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_c_element() {
+        let src = "\
+# a Muller C-element
+circuit celem
+inputs A:a B:b
+outputs y
+gate y = c(a, b)
+";
+        let c = parse_ckt(src).unwrap();
+        assert_eq!(c.name(), "celem");
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_gates(), 3);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn parses_sop_with_feedback() {
+        let src = "\
+circuit l
+inputs A:a B:b
+outputs q
+gate q = sop(a b | a q | b q)
+";
+        let c = parse_ckt(src).unwrap();
+        let q = c.signal_by_name("q").unwrap();
+        let g = c.driver(q).unwrap();
+        assert_eq!(c.gate(g).inputs.len(), 3);
+    }
+
+    #[test]
+    fn parses_init_and_settle() {
+        let src = "\
+circuit inv
+inputs A:a
+outputs y
+gate y = not(a)
+init A=1 a=1
+";
+        let c = parse_ckt(src).unwrap();
+        assert!(c.initial_state().get(0));
+        assert!(!c.initial_state().get(2));
+
+        let src2 = "circuit inv\ninputs A:a\noutputs y\ngate y = not(a)\nsettle\n";
+        let c2 = parse_ckt(src2).unwrap();
+        assert!(c2.initial_state().get(2));
+    }
+
+    #[test]
+    fn default_buffer_suffix() {
+        let src = "circuit d\ninputs A\noutputs y\ngate y = buf(A_i)\n";
+        let c = parse_ckt(src).unwrap();
+        assert!(c.signal_by_name("A_i").is_some());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "circuit x\nbogus directive\n";
+        match parse_ckt(src) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_gate_syntax() {
+        assert!(parse_ckt("circuit x\ngate y not(a)\n").is_err());
+        assert!(parse_ckt("circuit x\ngate y = not(a\n").is_err());
+        assert!(parse_ckt("circuit x\ninputs A:a\ngate y = frob(a)\n").is_err());
+    }
+
+    #[test]
+    fn negated_literals_parse() {
+        let src = "circuit n\ninputs A:a B:b\noutputs y\ngate y = sop(a !b)\ninit\n";
+        let c = parse_ckt(src).unwrap();
+        // y = a·b̄; with a=0 the function is 0, stable at reset.
+        assert!(c.is_stable(c.initial_state()));
+    }
+}
+
+/// Serializes a circuit back to the `.ckt` format; [`parse_ckt`] of the
+/// result reconstructs an identical circuit (round-trip tested).
+pub fn to_ckt(ckt: &Circuit) -> String {
+    use crate::gate::GateKind;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {}", ckt.name());
+    let inputs: Vec<String> = (0..ckt.num_inputs())
+        .map(|i| {
+            let env = ckt.signal_name(ckt.input_pin(i));
+            let buf = ckt.signal_name(ckt.gate_output(crate::circuit::GateId(i as u32)));
+            format!("{env}:{buf}")
+        })
+        .collect();
+    let _ = writeln!(out, "inputs {}", inputs.join(" "));
+    let outputs: Vec<&str> = ckt.outputs().iter().map(|&o| ckt.signal_name(o)).collect();
+    let _ = writeln!(out, "outputs {}", outputs.join(" "));
+    for gi in ckt.num_inputs()..ckt.num_gates() {
+        let g = crate::circuit::GateId(gi as u32);
+        let gate = ckt.gate(g);
+        let name = ckt.signal_name(ckt.gate_output(g));
+        let body = match &gate.kind {
+            GateKind::Sop(s) => {
+                let cubes: Vec<String> = s
+                    .cubes
+                    .iter()
+                    .map(|c| {
+                        c.0.iter()
+                            .map(|l| {
+                                let sig = ckt.signal_name(gate.inputs[l.pin]);
+                                if l.positive {
+                                    sig.to_string()
+                                } else {
+                                    format!("!{sig}")
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    })
+                    .collect();
+                format!("sop({})", cubes.join(" | "))
+            }
+            kind => {
+                let args: Vec<&str> = gate
+                    .inputs
+                    .iter()
+                    .map(|&s| ckt.signal_name(s))
+                    .collect();
+                format!("{}({})", kind.name(), args.join(", "))
+            }
+        };
+        let _ = writeln!(out, "gate {name} = {body}");
+    }
+    let init: Vec<String> = (0..ckt.num_state_bits())
+        .filter(|&i| ckt.initial_state().get(i))
+        .map(|i| format!("{}=1", ckt.signal_name(crate::circuit::SignalId(i as u32))))
+        .collect();
+    if !init.is_empty() {
+        let _ = writeln!(out, "init {}", init.join(" "));
+    }
+    out
+}

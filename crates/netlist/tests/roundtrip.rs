@@ -1,0 +1,78 @@
+//! Round-trip: serialize every built-in circuit to the `.ckt` format,
+//! reparse, and check behavioural equivalence.
+
+use satpg_netlist::{library, parse_ckt, to_ckt, Bits, GateId};
+
+/// Two circuits are behaviourally equivalent if, for matching signal
+/// names, every gate evaluates identically on shared states.
+fn assert_equivalent(a: &satpg_netlist::Circuit, b: &satpg_netlist::Circuit) {
+    assert_eq!(a.num_inputs(), b.num_inputs());
+    assert_eq!(a.num_gates(), b.num_gates());
+    assert_eq!(a.num_state_bits(), b.num_state_bits());
+    assert_eq!(
+        a.outputs()
+            .iter()
+            .map(|&o| a.signal_name(o))
+            .collect::<Vec<_>>(),
+        b.outputs()
+            .iter()
+            .map(|&o| b.signal_name(o))
+            .collect::<Vec<_>>()
+    );
+    // Deterministic pseudo-random states over the shared signal names.
+    let n = a.num_state_bits();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for _ in 0..64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let sa = Bits::from_fn(n, |i| (x >> (i % 64)) & 1 == 1);
+        // Build b's state by name.
+        let mut sb = Bits::zeros(n);
+        for i in 0..n {
+            let name = a.signal_name(satpg_netlist::SignalId(i as u32));
+            let j = b.signal_by_name(name).expect("same signal names");
+            sb.set(j.index(), sa.get(i));
+        }
+        for gi in 0..a.num_gates() {
+            let ga = GateId(gi as u32);
+            let name = a.signal_name(a.gate_output(ga));
+            let gb = b
+                .driver(b.signal_by_name(name).unwrap())
+                .expect("same drivers");
+            assert_eq!(
+                a.eval_gate(ga, &sa),
+                b.eval_gate(gb, &sb),
+                "gate {name} differs on {sa}"
+            );
+        }
+    }
+    // Initial states agree by name.
+    for i in 0..n {
+        let name = a.signal_name(satpg_netlist::SignalId(i as u32));
+        let j = b.signal_by_name(name).unwrap();
+        assert_eq!(
+            a.initial_state().get(i),
+            b.initial_state().get(j.index()),
+            "initial value of {name}"
+        );
+    }
+}
+
+#[test]
+fn library_circuits_roundtrip() {
+    for ckt in library::all() {
+        let text = to_ckt(&ckt);
+        let back = parse_ckt(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", ckt.name()));
+        assert_equivalent(&ckt, &back);
+    }
+}
+
+#[test]
+fn serialized_form_is_readable() {
+    let text = to_ckt(&library::figure1a());
+    assert!(text.contains("circuit figure1a"));
+    assert!(text.contains("inputs A:a B:b"));
+    assert!(text.contains("gate c = and(a, b)"));
+    assert!(text.contains("init B=1 b=1"));
+}

@@ -1,0 +1,380 @@
+//! Exhaustive interleaving exploration: the k-bounded settling analysis.
+//!
+//! From a stable state with a new input pattern applied, the set of states
+//! reachable after exactly `i` transitions (stable states self-looping) is
+//! iterated to depth `k`.  The (state, pattern) pair is *valid* — an edge
+//! of the CSSG — iff that set at depth `k` is a single stable state, i.e.
+//! every interleaving of gate switchings settles to the same place within
+//! the test cycle.
+//!
+//! This is the reference semantics for the synchronous abstraction; it is
+//! exponential in the worst case, so [`ExplicitConfig::max_states`] caps
+//! the explored set (an overflow is reported and treated as invalid,
+//! which is conservative).
+
+use crate::inject::{is_excited_inj, Injection};
+use crate::ternary::{ternary_settle, TernaryOutcome};
+use satpg_netlist::{Bits, Circuit, GateId};
+use std::collections::BTreeSet;
+
+/// Outcome of a k-bounded settling analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Settle {
+    /// Exactly one stable state is reachable at depth `k`: the vector is
+    /// valid and this is where the circuit settles.
+    Confluent(Bits),
+    /// All interleavings have stabilized by depth `k`, but to different
+    /// states (a critical race / non-confluence).
+    NonConfluent(Vec<Bits>),
+    /// Some interleaving is still switching at depth `k`: oscillation or
+    /// a settling time longer than the test cycle.
+    Unstable(Vec<Bits>),
+    /// The explored state set exceeded [`ExplicitConfig::max_states`].
+    Overflow,
+}
+
+impl Settle {
+    /// The settled state for valid vectors.
+    pub fn confluent(&self) -> Option<&Bits> {
+        match self {
+            Settle::Confluent(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether the vector may be used for testing.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Settle::Confluent(_))
+    }
+}
+
+/// Configuration for [`settle_explicit`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExplicitConfig {
+    /// Maximum number of transitions `k` (the test-cycle bound of §4.1).
+    pub k: usize,
+    /// Cap on the simultaneously tracked state set.
+    pub max_states: usize,
+    /// Skip the exhaustive exploration when scalar ternary simulation
+    /// already proves confluence.  A definite ternary outcome means every
+    /// *fair* schedule (each excited gate eventually fires — guaranteed by
+    /// finite inertial delays) settles to that state; the literal
+    /// k-bounded frontier additionally contains physically impossible
+    /// unfair interleavings that postpone a gate forever, so the fast
+    /// path may accept a vector the raw `TCR_k` definition rejects.
+    /// Disable to exercise the exact k-bounded definition.
+    pub ternary_fast_path: bool,
+}
+
+impl ExplicitConfig {
+    /// Defaults for a circuit: `k = 4·gates + 4`, 1<<16 tracked states,
+    /// fast path on.
+    pub fn for_circuit(ckt: &Circuit) -> Self {
+        ExplicitConfig {
+            k: 4 * ckt.num_gates() + 4,
+            max_states: 1 << 16,
+            ternary_fast_path: true,
+        }
+    }
+
+    /// Same but with an explicit `k`.
+    pub fn with_k(ckt: &Circuit, k: usize) -> Self {
+        ExplicitConfig {
+            k,
+            ..Self::for_circuit(ckt)
+        }
+    }
+}
+
+/// Runs the k-bounded settling analysis for input `pattern` applied to the
+/// stable state `from` (under an optional fault injection).
+///
+/// `from` must be stable *under the injection*; the input application
+/// itself counts as the first of the `k` steps, as in the paper's
+/// `TCR_k` definition.
+pub fn settle_explicit(
+    ckt: &Circuit,
+    from: &Bits,
+    pattern: u64,
+    inj: &Injection,
+    cfg: &ExplicitConfig,
+) -> Settle {
+    if cfg.ternary_fast_path {
+        if let TernaryOutcome::Definite(b) = ternary_settle(ckt, from, pattern, inj) {
+            return Settle::Confluent(b);
+        }
+    }
+    let start = ckt.with_inputs(from, pattern);
+    let mut frontier: BTreeSet<Bits> = BTreeSet::new();
+    frontier.insert(start);
+    // Input application was step 1; k-1 gate steps remain.
+    for _ in 1..cfg.k.max(1) {
+        let mut next: BTreeSet<Bits> = BTreeSet::new();
+        let mut any_unstable = false;
+        for s in &frontier {
+            let excited: Vec<GateId> = (0..ckt.num_gates())
+                .map(|i| GateId(i as u32))
+                .filter(|&g| is_excited_inj(ckt, g, s, inj))
+                .collect();
+            if excited.is_empty() {
+                next.insert(s.clone());
+            } else {
+                any_unstable = true;
+                for g in excited {
+                    let mut t = s.clone();
+                    t.toggle(ckt.gate_output(g).index());
+                    next.insert(t);
+                }
+            }
+        }
+        if next.len() > cfg.max_states {
+            return Settle::Overflow;
+        }
+        let done = !any_unstable;
+        frontier = next;
+        if done {
+            break;
+        }
+    }
+    let (stable, unstable): (Vec<Bits>, Vec<Bits>) = frontier
+        .into_iter()
+        .partition(|s| (0..ckt.num_gates()).all(|i| !is_excited_inj(ckt, GateId(i as u32), s, inj)));
+    if !unstable.is_empty() {
+        let mut all = stable;
+        all.extend(unstable);
+        return Settle::Unstable(all);
+    }
+    match stable.len() {
+        1 => Settle::Confluent(stable.into_iter().next().expect("len checked")),
+        _ => Settle::NonConfluent(stable),
+    }
+}
+
+/// The set of states the (possibly faulty) circuit may occupy when the
+/// tester samples, given it may occupy any state of `from` when `pattern`
+/// is applied.
+///
+/// This is the k-bounded frontier of every interleaving, *closed* under
+/// further transitions while any member is still unstable: an oscillating
+/// machine is sampled at an unknown phase, so every state of its attractor
+/// is possible.  For settling machines the closure is free (stable states
+/// absorb) and the result equals the unique/raced settle set.
+///
+/// Returns `None` when the tracked set exceeds `cfg.max_states`
+/// (conservative: the caller must not claim detection).
+pub fn settle_set(
+    ckt: &Circuit,
+    from: &BTreeSet<Bits>,
+    pattern: u64,
+    inj: &Injection,
+    cfg: &ExplicitConfig,
+) -> Option<BTreeSet<Bits>> {
+    // Fast path: a singleton, ternary-definite settle is exact (also
+    // under injection: definite means every interleaving agrees).
+    if cfg.ternary_fast_path && from.len() == 1 {
+        let only = from.iter().next().expect("len checked");
+        if let TernaryOutcome::Definite(b) = ternary_settle(ckt, only, pattern, inj) {
+            return Some(BTreeSet::from([b]));
+        }
+    }
+    let step = |frontier: &BTreeSet<Bits>| -> (BTreeSet<Bits>, bool) {
+        let mut next = BTreeSet::new();
+        let mut any_unstable = false;
+        for s in frontier {
+            let excited: Vec<GateId> = (0..ckt.num_gates())
+                .map(|i| GateId(i as u32))
+                .filter(|&g| is_excited_inj(ckt, g, s, inj))
+                .collect();
+            if excited.is_empty() {
+                next.insert(s.clone());
+            } else {
+                any_unstable = true;
+                for g in excited {
+                    let mut t = s.clone();
+                    t.toggle(ckt.gate_output(g).index());
+                    next.insert(t);
+                }
+            }
+        }
+        (next, any_unstable)
+    };
+    let mut frontier: BTreeSet<Bits> = from.iter().map(|s| ckt.with_inputs(s, pattern)).collect();
+    let mut settled_early = false;
+    for _ in 1..cfg.k.max(1) {
+        let (next, any_unstable) = step(&frontier);
+        if next.len() > cfg.max_states {
+            return None;
+        }
+        frontier = next;
+        if !any_unstable {
+            settled_early = true;
+            break;
+        }
+    }
+    if settled_early {
+        return Some(frontier);
+    }
+    // Closure: union further frontiers until nothing new appears (once a
+    // step adds no states, no later step can — the step image of a subset
+    // of the union stays inside the union).
+    let mut union = frontier.clone();
+    for _ in 0..4 * cfg.k + 4 {
+        let (next, any_unstable) = step(&frontier);
+        if next.len() > cfg.max_states {
+            return None;
+        }
+        let before = union.len();
+        union.extend(next.iter().cloned());
+        if union.len() > cfg.max_states {
+            return None;
+        }
+        frontier = next;
+        if !any_unstable || union.len() == before {
+            return Some(union);
+        }
+    }
+    // Still growing: the closure is incomplete, so claiming any verdict
+    // from it would be unsound.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::Site;
+    use satpg_netlist::library;
+
+    fn cfg_exact(ckt: &Circuit) -> ExplicitConfig {
+        ExplicitConfig {
+            ternary_fast_path: false,
+            ..ExplicitConfig::for_circuit(ckt)
+        }
+    }
+
+    #[test]
+    fn c_element_confluent() {
+        let c = library::c_element();
+        let r = settle_explicit(&c, c.initial_state(), 0b11, &Injection::none(), &cfg_exact(&c));
+        let s = r.confluent().expect("C-element raise is confluent");
+        assert!(c.is_stable(s));
+        assert!(s.get(c.signal_by_name("y").unwrap().index()));
+    }
+
+    #[test]
+    fn figure1a_non_confluent() {
+        let c = library::figure1a();
+        let r = settle_explicit(&c, c.initial_state(), 0b01, &Injection::none(), &cfg_exact(&c));
+        match r {
+            Settle::NonConfluent(states) => {
+                assert!(states.len() >= 2);
+                let y = c.signal_by_name("y").unwrap().index();
+                let ys: std::collections::HashSet<bool> =
+                    states.iter().map(|s| s.get(y)).collect();
+                assert_eq!(ys.len(), 2, "y differs between outcomes");
+            }
+            other => panic!("expected non-confluence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure1b_unstable() {
+        let c = library::figure1b();
+        let r = settle_explicit(&c, c.initial_state(), 0b01, &Injection::none(), &cfg_exact(&c));
+        assert!(matches!(r, Settle::Unstable(_)), "oscillation detected");
+    }
+
+    #[test]
+    fn fast_path_agrees_with_exact_on_definite_cases() {
+        for ckt in library::all() {
+            for pattern in 0..(1u64 << ckt.num_inputs()) {
+                let fast = settle_explicit(
+                    &ckt,
+                    ckt.initial_state(),
+                    pattern,
+                    &Injection::none(),
+                    &ExplicitConfig::for_circuit(&ckt),
+                );
+                let exact = settle_explicit(
+                    &ckt,
+                    ckt.initial_state(),
+                    pattern,
+                    &Injection::none(),
+                    &cfg_exact(&ckt),
+                );
+                if let (Settle::Confluent(a), Settle::Confluent(b)) = (&fast, &exact) {
+                    assert_eq!(a, b, "{} pattern {pattern:b}", ckt.name());
+                }
+                // The fast path may *only* add confluent answers where the
+                // exact analysis ran out of k, never contradict it.
+                if let Settle::NonConfluent(_) = exact {
+                    assert!(
+                        !fast.is_valid(),
+                        "{} pattern {pattern:b}: ternary accepted a race",
+                        ckt.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_k_reports_unstable() {
+        let c = library::c_element();
+        let cfg = ExplicitConfig {
+            k: 2, // input application + one gate step: cannot finish
+            max_states: 1024,
+            ternary_fast_path: false,
+        };
+        let r = settle_explicit(&c, c.initial_state(), 0b11, &Injection::none(), &cfg);
+        assert!(matches!(r, Settle::Unstable(_)));
+    }
+
+    #[test]
+    fn injection_changes_settling() {
+        let c = library::c_element();
+        let y = c.driver(c.signal_by_name("y").unwrap()).unwrap();
+        let inj = Injection::single(y, Site::Output, false);
+        let r = settle_explicit(&c, c.initial_state(), 0b11, &inj, &cfg_exact(&c));
+        let s = r.confluent().expect("stuck-at keeps circuit confluent here");
+        assert!(!s.get(c.signal_by_name("y").unwrap().index()));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let c = library::figure1a();
+        let cfg = ExplicitConfig {
+            k: 64,
+            max_states: 1,
+            ternary_fast_path: false,
+        };
+        let r = settle_explicit(&c, c.initial_state(), 0b01, &Injection::none(), &cfg);
+        assert_eq!(r, Settle::Overflow);
+    }
+
+    #[test]
+    fn ternary_definite_implies_explicit_confluent() {
+        // The conservativeness direction the ATPG soundness rests on.
+        for ckt in library::all() {
+            for pattern in 0..(1u64 << ckt.num_inputs()) {
+                if let TernaryOutcome::Definite(tb) =
+                    ternary_settle(&ckt, ckt.initial_state(), pattern, &Injection::none())
+                {
+                    let exact = settle_explicit(
+                        &ckt,
+                        ckt.initial_state(),
+                        pattern,
+                        &Injection::none(),
+                        &cfg_exact(&ckt),
+                    );
+                    match exact {
+                        Settle::Confluent(eb) => assert_eq!(tb, eb, "{}", ckt.name()),
+                        other => panic!(
+                            "{} pattern {pattern:b}: ternary definite but explicit {other:?}",
+                            ckt.name()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

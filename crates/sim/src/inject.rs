@@ -1,0 +1,137 @@
+//! Fault injection: forcing pins or outputs to constants at simulation
+//! time, without editing the netlist.
+
+use satpg_netlist::{Bits, Circuit, GateId};
+
+/// Where a force applies within a gate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Site {
+    /// The gate's `i`-th input pin (an *input stuck-at* fault site).
+    Pin(usize),
+    /// The gate's output (an *output stuck-at* fault site).
+    Output,
+}
+
+/// A single forced constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Force {
+    /// The affected gate.
+    pub gate: GateId,
+    /// Pin or output.
+    pub site: Site,
+    /// The stuck value.
+    pub value: bool,
+}
+
+/// A set of forces applied to one simulated machine.
+///
+/// The empty injection is the good machine.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Injection {
+    /// The forces; usually zero (good machine) or one (single fault).
+    pub forces: Vec<Force>,
+}
+
+impl Injection {
+    /// The good machine: nothing forced.
+    pub fn none() -> Self {
+        Injection::default()
+    }
+
+    /// A single-fault injection.
+    pub fn single(gate: GateId, site: Site, value: bool) -> Self {
+        Injection {
+            forces: vec![Force { gate, site, value }],
+        }
+    }
+
+    /// The forced output value of `gate`, if any.
+    #[inline]
+    pub fn output_force(&self, gate: GateId) -> Option<bool> {
+        self.forces
+            .iter()
+            .find(|f| f.gate == gate && f.site == Site::Output)
+            .map(|f| f.value)
+    }
+
+    /// The forced value of pin `pin` of `gate`, if any.
+    #[inline]
+    pub fn pin_force(&self, gate: GateId, pin: usize) -> Option<bool> {
+        self.forces
+            .iter()
+            .find(|f| f.gate == gate && f.site == Site::Pin(pin))
+            .map(|f| f.value)
+    }
+
+    /// Whether this injection touches `gate` at all (fast path check).
+    #[inline]
+    pub fn touches(&self, gate: GateId) -> bool {
+        self.forces.iter().any(|f| f.gate == gate)
+    }
+}
+
+/// Evaluates gate `g` in binary `state` under an injection.
+pub fn eval_gate_inj(ckt: &Circuit, g: GateId, state: &Bits, inj: &Injection) -> bool {
+    if let Some(v) = inj.output_force(g) {
+        return v;
+    }
+    let gate = ckt.gate(g);
+    let out = state.get(ckt.gate_output(g).index());
+    if inj.touches(g) {
+        gate.kind.eval(out, gate.inputs.len(), |p| {
+            inj.pin_force(g, p)
+                .unwrap_or_else(|| state.get(gate.inputs[p].index()))
+        })
+    } else {
+        gate.kind
+            .eval(out, gate.inputs.len(), |p| state.get(gate.inputs[p].index()))
+    }
+}
+
+/// Whether gate `g` is excited in `state` under an injection.
+#[inline]
+pub fn is_excited_inj(ckt: &Circuit, g: GateId, state: &Bits, inj: &Injection) -> bool {
+    eval_gate_inj(ckt, g, state, inj) != state.get(ckt.gate_output(g).index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satpg_netlist::library;
+
+    #[test]
+    fn empty_injection_matches_plain_eval() {
+        let c = library::figure1a();
+        let inj = Injection::none();
+        let s = c.with_inputs(c.initial_state(), 0b01);
+        for i in 0..c.num_gates() {
+            let g = GateId(i as u32);
+            assert_eq!(eval_gate_inj(&c, g, &s, &inj), c.eval_gate(g, &s));
+        }
+    }
+
+    #[test]
+    fn output_force_overrides_function() {
+        let c = library::c_element();
+        let y = c.driver(c.signal_by_name("y").unwrap()).unwrap();
+        let inj = Injection::single(y, Site::Output, true);
+        let s = c.initial_state();
+        assert!(eval_gate_inj(&c, y, s, &inj));
+        assert!(is_excited_inj(&c, y, s, &inj), "stuck-1 output excites at reset");
+    }
+
+    #[test]
+    fn pin_force_overrides_single_pin() {
+        let c = library::c_element();
+        let y = c.driver(c.signal_by_name("y").unwrap()).unwrap();
+        // Force pin 0 (signal a) to 1; with b still 0 the C-element holds 0.
+        let inj = Injection::single(y, Site::Pin(0), true);
+        let s = c.initial_state();
+        assert!(!eval_gate_inj(&c, y, s, &inj));
+        // Now also raise b: a(forced)·b = 1 → function rises.
+        let mut s2 = s.clone();
+        let b = c.signal_by_name("b").unwrap();
+        s2.set(b.index(), true);
+        assert!(eval_gate_inj(&c, y, &s2, &inj));
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulation engines for asynchronous circuits under the unbounded
+//! inertial gate-delay model.
+//!
+//! Three engines, mirroring §2/§5.4 of Roig et al. (DAC 1997):
+//!
+//! * [`ternary_settle`] — Eichelberger's three-valued simulation
+//!   (algorithms A and B).  Conservative but polynomial: if the settled
+//!   state is fully definite, the applied input vector is race-free and
+//!   oscillation-free and *every* interleaving reaches that state.
+//! * [`PlaneState`] — the same ternary analysis, bit-parallel over 64
+//!   machines at once (the good circuit plus 63 faulty ones), the engine
+//!   behind random TPG and fault simulation.
+//! * [`settle_explicit`] — exhaustive interleaving exploration (the
+//!   k-bounded settling analysis that *defines* the CSSG), also usable as
+//!   a nondeterministic oracle to validate emitted tests against any gate
+//!   delays.
+//!
+//! Faults never modify a netlist: every engine accepts an [`Injection`]
+//! that forces gate input pins or gate outputs to constants, so the same
+//! [`satpg_netlist::Circuit`] serves the good machine and all faulty ones.
+
+mod explicit;
+mod inject;
+mod parallel;
+mod ternary;
+
+pub use explicit::{settle_explicit, settle_set, ExplicitConfig, Settle};
+pub use inject::{eval_gate_inj, is_excited_inj, Force, Injection, Site};
+pub use parallel::{parallel_settle, ParallelInjection, PlaneState};
+pub use ternary::{ternary_settle, ternary_settle_from, TernaryOutcome, Trit, TritVec};

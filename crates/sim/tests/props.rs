@@ -1,0 +1,263 @@
+//! Property tests on random asynchronous circuits:
+//!
+//! * ternary-definite ⇒ explicit-confluent with the same state
+//!   (conservativeness, the soundness anchor of the whole ATPG flow);
+//! * the 64-lane parallel engine agrees lane-by-lane with the scalar
+//!   engine, including under fault injection;
+//! * settled states are stable.
+
+use proptest::prelude::*;
+use satpg_netlist::{Bits, Circuit, CircuitBuilder, GateId, GateKind};
+use satpg_sim::{
+    parallel_settle, settle_explicit, ternary_settle, ExplicitConfig, Injection, ParallelInjection,
+    PlaneState, Settle, Site, TernaryOutcome, Trit, TritVec,
+};
+
+/// Blueprint for a random circuit (kept simple so shrinking works).
+#[derive(Debug, Clone)]
+struct Blueprint {
+    num_inputs: usize,
+    gates: Vec<(u8, Vec<usize>)>, // (kind selector, fanin signal indices)
+}
+
+fn kind_of(sel: u8, arity: usize) -> GateKind {
+    match sel % 7 {
+        0 => GateKind::And,
+        1 => GateKind::Or,
+        2 => GateKind::Nand,
+        3 => GateKind::Nor,
+        4 if arity >= 2 => GateKind::C,
+        5 => GateKind::Xor,
+        _ => GateKind::Not,
+    }
+}
+
+fn build(bp: &Blueprint) -> Option<Circuit> {
+    let mut b = CircuitBuilder::new("random");
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..bp.num_inputs {
+        b.input(format!("I{i}"), format!("i{i}"));
+        names.push(format!("i{i}"));
+    }
+    for (gi, _) in bp.gates.iter().enumerate() {
+        names.push(format!("g{gi}"));
+    }
+    for (gi, (sel, fanin)) in bp.gates.iter().enumerate() {
+        let mut kind = kind_of(*sel, fanin.len());
+        if kind == GateKind::Not || fanin.len() == 1 {
+            kind = GateKind::Not;
+        }
+        let ins: Vec<_> = fanin
+            .iter()
+            .map(|&f| b.signal(names[f % names.len()].clone()))
+            .collect();
+        let take = if kind == GateKind::Not { 1 } else { ins.len() };
+        b.gate(format!("g{gi}"), kind, ins.into_iter().take(take).collect());
+    }
+    let last = format!("g{}", bp.gates.len() - 1);
+    let sig = b.signal(last);
+    b.output(sig);
+    b.settle_initial();
+    b.finish().ok()
+}
+
+fn arb_blueprint() -> impl Strategy<Value = Blueprint> {
+    (1usize..=3, 1usize..=6).prop_flat_map(|(ni, ng)| {
+        let gate = (any::<u8>(), proptest::collection::vec(0usize..(ni + ng), 1..=3));
+        proptest::collection::vec(gate, ng).prop_map(move |gates| Blueprint {
+            num_inputs: ni,
+            gates,
+        })
+    })
+}
+
+fn exact_cfg(c: &Circuit) -> ExplicitConfig {
+    ExplicitConfig {
+        k: 6 * c.num_gates() + 6,
+        max_states: 1 << 14,
+        ternary_fast_path: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ternary-definite means every *fair* schedule (each excited gate
+    /// eventually fires — guaranteed by finite inertial delays) settles to
+    /// that state.  When the exhaustive analysis also converges within k,
+    /// the states must match; when it reports Unstable, only *unfair*
+    /// interleavings (indefinitely postponing some gate) can still be
+    /// switching, and a fair round-robin run must reach the ternary state.
+    #[test]
+    fn ternary_conservative(bp in arb_blueprint(), pattern in any::<u64>()) {
+        let Some(c) = build(&bp) else { return Ok(()) };
+        let pattern = pattern & ((1 << c.num_inputs()) - 1);
+        if let TernaryOutcome::Definite(tb) =
+            ternary_settle(&c, c.initial_state(), pattern, &Injection::none())
+        {
+            prop_assert!(c.is_stable(&tb), "ternary-definite state must be stable");
+            match settle_explicit(&c, c.initial_state(), pattern, &Injection::none(), &exact_cfg(&c)) {
+                Settle::Confluent(eb) => prop_assert_eq!(tb, eb),
+                Settle::Overflow => {} // cap hit; no verdict
+                Settle::NonConfluent(_) => {
+                    return Err(TestCaseError::fail(
+                        "ternary definite but explicit says non-confluent".to_string(),
+                    ))
+                }
+                Settle::Unstable(_) => {
+                    // Fair (round-robin) schedule must settle to tb.
+                    let mut s = c.with_inputs(c.initial_state(), pattern);
+                    'outer: for _ in 0..(8 * c.num_gates() * c.num_gates() + 8) {
+                        for gi in 0..c.num_gates() {
+                            let g = GateId(gi as u32);
+                            if c.is_excited(g, &s) {
+                                s = c.step_gate(g, &s);
+                                continue 'outer;
+                            }
+                        }
+                        break;
+                    }
+                    prop_assert_eq!(s, tb, "fair schedule disagrees with ternary");
+                }
+            }
+        }
+    }
+
+    /// Explicit confluence: the unique settled state must also be what any
+    /// greedy interleaving reaches.
+    #[test]
+    fn confluent_state_reached_by_greedy_run(bp in arb_blueprint(), pattern in any::<u64>()) {
+        let Some(c) = build(&bp) else { return Ok(()) };
+        let pattern = pattern & ((1 << c.num_inputs()) - 1);
+        let cfg = exact_cfg(&c);
+        if let Settle::Confluent(target) =
+            settle_explicit(&c, c.initial_state(), pattern, &Injection::none(), &cfg)
+        {
+            let mut s = c.with_inputs(c.initial_state(), pattern);
+            for _ in 0..cfg.k {
+                match c.excited_gates(&s).first() {
+                    Some(&g) => s = c.step_gate(g, &s),
+                    None => break,
+                }
+            }
+            prop_assert_eq!(s, target);
+        }
+    }
+
+    /// Parallel lanes agree with scalar ternary runs, with and without
+    /// injected faults.
+    #[test]
+    fn parallel_agrees_with_scalar(bp in arb_blueprint(), pattern in any::<u64>(), pin in any::<u8>(), val in any::<bool>()) {
+        let Some(c) = build(&bp) else { return Ok(()) };
+        let pattern = pattern & ((1 << c.num_inputs()) - 1);
+        // Lane 0: good machine.  Lane 1: some single fault.
+        let gate = GateId((pin as u32) % c.num_gates() as u32);
+        let npins = c.gate(gate).inputs.len();
+        let site = if pin as usize % 2 == 0 && npins > 0 {
+            Site::Pin(pin as usize % npins)
+        } else {
+            Site::Output
+        };
+        let faulty = Injection::single(gate, site, val);
+        let lanes = vec![Injection::none(), faulty.clone()];
+        let pinj = ParallelInjection::new(&lanes);
+        let par = parallel_settle(&c, &PlaneState::broadcast(c.initial_state()), pattern, &pinj);
+        for (lane, inj) in [(0usize, Injection::none()), (1, faulty)] {
+            let scalar = ternary_settle(&c, c.initial_state(), pattern, &inj);
+            let tv = match scalar {
+                TernaryOutcome::Definite(b) => TritVec::from_bits(&b),
+                TernaryOutcome::Uncertain(tv) => tv,
+            };
+            for i in 0..c.num_state_bits() {
+                prop_assert_eq!(par.trit(i, lane), tv.0[i], "lane {} signal {}", lane, i);
+            }
+        }
+    }
+
+    /// Every state reported stable by a settle is genuinely stable.
+    #[test]
+    fn settle_outputs_are_stable(bp in arb_blueprint(), pattern in any::<u64>()) {
+        let Some(c) = build(&bp) else { return Ok(()) };
+        let pattern = pattern & ((1 << c.num_inputs()) - 1);
+        match settle_explicit(&c, c.initial_state(), pattern, &Injection::none(), &exact_cfg(&c)) {
+            Settle::Confluent(s) => prop_assert!(c.is_stable(&s)),
+            Settle::NonConfluent(ss) => {
+                prop_assert!(ss.len() >= 2);
+                for s in ss {
+                    prop_assert!(c.is_stable(&s));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Input pattern bits survive settling (the environment holds them).
+    #[test]
+    fn pattern_is_held(bp in arb_blueprint(), pattern in any::<u64>()) {
+        let Some(c) = build(&bp) else { return Ok(()) };
+        let pattern = pattern & ((1 << c.num_inputs()) - 1);
+        if let TernaryOutcome::Definite(b) =
+            ternary_settle(&c, c.initial_state(), pattern, &Injection::none())
+        {
+            prop_assert_eq!(c.input_pattern(&b), pattern);
+        }
+    }
+}
+
+/// Deterministic regression: a full-width 64-lane run with all-distinct
+/// injections stays self-consistent.
+#[test]
+fn sixty_four_distinct_lanes() {
+    let c = satpg_netlist::library::muller_pipeline2();
+    let mut lanes = vec![Injection::none()];
+    'outer: for gi in 0..c.num_gates() {
+        let g = GateId(gi as u32);
+        for p in 0..c.gate(g).inputs.len() {
+            for v in [false, true] {
+                if lanes.len() == 64 {
+                    break 'outer;
+                }
+                lanes.push(Injection::single(g, Site::Pin(p), v));
+            }
+        }
+    }
+    let pinj = ParallelInjection::new(&lanes);
+    let st = parallel_settle(&c, &PlaneState::broadcast(c.initial_state()), 0b01, &pinj);
+    for (lane, inj) in lanes.iter().enumerate() {
+        let scalar = ternary_settle(&c, c.initial_state(), 0b01, inj);
+        let tv = match scalar {
+            TernaryOutcome::Definite(b) => TritVec::from_bits(&b),
+            TernaryOutcome::Uncertain(tv) => tv,
+        };
+        for i in 0..c.num_state_bits() {
+            assert_eq!(st.trit(i, lane), tv.0[i], "lane {lane} signal {i}");
+        }
+    }
+}
+
+/// Regression: ternary simulation of a Bits state that is already stable
+/// under the same pattern is the identity.
+#[test]
+fn identity_pattern_is_noop() {
+    for c in satpg_netlist::library::all() {
+        let s0 = c.initial_state();
+        let pat = c.input_pattern(s0);
+        match ternary_settle(&c, s0, pat, &Injection::none()) {
+            TernaryOutcome::Definite(b) => assert_eq!(&b, s0, "{}", c.name()),
+            TernaryOutcome::Uncertain(_) => panic!("{}: stable state became uncertain", c.name()),
+        }
+    }
+}
+
+/// Regression: Bits helper sanity used by the harnesses.
+#[test]
+fn bits_roundtrip_via_planes() {
+    let c = satpg_netlist::library::sr_latch();
+    let ps = PlaneState::broadcast(c.initial_state());
+    for lane in [0usize, 13, 63] {
+        assert_eq!(ps.lane_bits(lane).as_ref(), Some(c.initial_state()));
+        assert_eq!(ps.trit(0, lane), Trit::Zero);
+    }
+    let b = Bits::from_str01("0101").unwrap();
+    assert_eq!(b.to_string(), "0101");
+}

@@ -1,0 +1,434 @@
+//! Two-level logic minimization: Quine–McCluskey prime generation and
+//! greedy covering, with don't-care support.
+//!
+//! Sized for controller synthesis: up to 16 variables (the benchmark
+//! suite stays well below that).  The cover is *irredundant by
+//! construction of the greedy pass* but globally minimal only for small
+//! functions — exactly the fidelity class of the original flow.
+
+use std::collections::{HashMap, HashSet};
+
+/// A cube over `n` variables: `mask` bit set ⇒ the variable appears as a
+/// literal, with polarity given by the corresponding `val` bit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Cube {
+    /// Literal-presence mask.
+    pub mask: u64,
+    /// Polarities (only bits inside `mask` are meaningful).
+    pub val: u64,
+}
+
+impl Cube {
+    /// The minterm cube of `point`.
+    pub fn minterm(point: u64, n: usize) -> Cube {
+        let mask = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        Cube {
+            mask,
+            val: point & mask,
+        }
+    }
+
+    /// Whether the cube contains `point`.
+    #[inline]
+    pub fn contains(&self, point: u64) -> bool {
+        point & self.mask == self.val
+    }
+
+    /// Whether `self` covers every point of `other`.
+    pub fn covers(&self, other: &Cube) -> bool {
+        self.mask & other.mask == self.mask && other.val & self.mask == self.val
+    }
+
+    /// Number of literals.
+    pub fn num_literals(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// The literals as `(variable, polarity)` pairs, ascending.
+    pub fn literals(&self) -> Vec<(usize, bool)> {
+        (0..64)
+            .filter(|&v| self.mask >> v & 1 == 1)
+            .map(|v| (v, self.val >> v & 1 == 1))
+            .collect()
+    }
+
+    /// Consensus of two cubes, if they oppose in exactly one variable.
+    ///
+    /// The consensus of two implicants is always an implicant; it is the
+    /// cube that bridges them (the classic source of redundant
+    /// hazard-cover terms).
+    pub fn consensus(&self, other: &Cube) -> Option<Cube> {
+        let both = self.mask & other.mask;
+        let opposed = (self.val ^ other.val) & both;
+        if opposed.count_ones() != 1 {
+            return None;
+        }
+        let mask = (self.mask | other.mask) & !opposed;
+        let val = (self.val | other.val) & mask;
+        Some(Cube { mask, val })
+    }
+}
+
+/// A two-level cover: the disjunction of its cubes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Cover {
+    /// The product terms.
+    pub cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// Whether the cover contains `point`.
+    pub fn contains(&self, point: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains(point))
+    }
+
+    /// The distinct variables used, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        let mut m = 0u64;
+        for c in &self.cubes {
+            m |= c.mask;
+        }
+        (0..64).filter(|&v| m >> v & 1 == 1).collect()
+    }
+}
+
+/// Minimizes a function given by its ON-set and DC-set minterms over `n`
+/// variables (`n ≤ 16`): Quine–McCluskey primes, essential-prime
+/// extraction, then greedy set cover of the remaining ON-set.
+///
+/// # Panics
+///
+/// Panics if `n > 16`, if ON ∩ DC ≠ ∅, or if a point exceeds `n` bits.
+pub fn minimize(on: &[u64], dc: &[u64], n: usize) -> Cover {
+    assert!(n <= 16, "minimizer sized for ≤ 16 variables");
+    let full = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+    let on_set: HashSet<u64> = on.iter().map(|&p| p & full).collect();
+    let dc_set: HashSet<u64> = dc.iter().map(|&p| p & full).collect();
+    assert!(
+        on_set.is_disjoint(&dc_set),
+        "ON and DC sets must be disjoint"
+    );
+    for &p in on.iter().chain(dc) {
+        assert!(p & !full == 0, "point {p:#x} exceeds {n} variables");
+    }
+    if on_set.is_empty() {
+        return Cover::default();
+    }
+    if on_set.len() + dc_set.len() == (1usize << n) {
+        // Constant 1: the empty cube.
+        return Cover {
+            cubes: vec![Cube { mask: 0, val: 0 }],
+        };
+    }
+
+    // --- Prime generation (iterative merging). ---
+    let mut current: HashSet<Cube> = on_set
+        .iter()
+        .chain(dc_set.iter())
+        .map(|&p| Cube::minterm(p, n))
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut merged: HashSet<Cube> = HashSet::new();
+        let mut was_merged: HashSet<Cube> = HashSet::new();
+        // Group by mask to merge only compatible cubes.
+        let mut by_mask: HashMap<u64, Vec<Cube>> = HashMap::new();
+        for &c in &current {
+            by_mask.entry(c.mask).or_default().push(c);
+        }
+        for group in by_mask.values() {
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    let diff = a.val ^ b.val;
+                    if diff.count_ones() == 1 {
+                        merged.insert(Cube {
+                            mask: a.mask & !diff,
+                            val: a.val & !diff,
+                        });
+                        was_merged.insert(*a);
+                        was_merged.insert(*b);
+                    }
+                }
+            }
+        }
+        for &c in &current {
+            if !was_merged.contains(&c) {
+                primes.push(c);
+            }
+        }
+        current = merged;
+    }
+    primes.sort_unstable();
+    primes.dedup();
+
+    // --- Covering. ---
+    let mut uncovered: Vec<u64> = {
+        let mut v: Vec<u64> = on_set.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut chosen: Vec<Cube> = Vec::new();
+
+    // Essential primes: an ON-minterm covered by exactly one prime.
+    let mut essential: HashSet<Cube> = HashSet::new();
+    for &p in &uncovered {
+        let covering: Vec<&Cube> = primes.iter().filter(|c| c.contains(p)).collect();
+        if covering.len() == 1 {
+            essential.insert(*covering[0]);
+        }
+    }
+    for c in &essential {
+        chosen.push(*c);
+    }
+    uncovered.retain(|&p| !chosen.iter().any(|c| c.contains(p)));
+
+    // Greedy: repeatedly take the prime covering the most remaining
+    // minterms (ties: fewer literals, then lexicographic for determinism).
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .map(|c| {
+                let gain = uncovered.iter().filter(|&&p| c.contains(p)).count();
+                (gain, std::cmp::Reverse(c.num_literals()), std::cmp::Reverse(*c))
+            })
+            .max()
+            .expect("primes nonempty when ON nonempty");
+        let cube = best.2 .0;
+        assert!(best.0 > 0, "no prime covers a remaining ON minterm");
+        chosen.push(cube);
+        uncovered.retain(|&p| !cube.contains(p));
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+
+    // Final irredundancy pass: greedy choices can make earlier picks
+    // redundant; drop any cube whose ON points are covered by the rest
+    // (largest cubes first for determinism).
+    let on_vec: Vec<u64> = on_set.iter().copied().collect();
+    loop {
+        let removable = (0..chosen.len()).find(|&i| {
+            on_vec.iter().all(|&p| {
+                !chosen[i].contains(p)
+                    || chosen
+                        .iter()
+                        .enumerate()
+                        .any(|(j, c)| j != i && c.contains(p))
+            })
+        });
+        match removable {
+            Some(i) => {
+                chosen.remove(i);
+            }
+            None => break,
+        }
+    }
+    Cover { cubes: chosen }
+}
+
+/// Returns **all** prime implicants that cover at least one ON minterm —
+/// the canonical redundant two-level form (every prime that matters, not
+/// just a minimal cover).  Hazard-free two-level synthesis must keep a
+/// cube for every required SIC transition, which pushes covers toward
+/// this prime closure; the extra cubes are logically redundant and their
+/// fault sites untestable.
+///
+/// # Panics
+///
+/// Same conditions as [`minimize`].
+pub fn all_primes(on: &[u64], dc: &[u64], n: usize) -> Cover {
+    let minimal = minimize(on, dc, n);
+    if minimal.cubes.len() <= 1 {
+        return minimal;
+    }
+    // Re-run prime generation (minimize discards the full list).
+    assert!(n <= 16);
+    let full = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+    let on_set: HashSet<u64> = on.iter().map(|&p| p & full).collect();
+    let dc_set: HashSet<u64> = dc.iter().map(|&p| p & full).collect();
+    let mut current: HashSet<Cube> = on_set
+        .iter()
+        .chain(dc_set.iter())
+        .map(|&p| Cube::minterm(p, n))
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut merged: HashSet<Cube> = HashSet::new();
+        let mut was_merged: HashSet<Cube> = HashSet::new();
+        let mut by_mask: HashMap<u64, Vec<Cube>> = HashMap::new();
+        for &c in &current {
+            by_mask.entry(c.mask).or_default().push(c);
+        }
+        for group in by_mask.values() {
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    let diff = a.val ^ b.val;
+                    if diff.count_ones() == 1 {
+                        merged.insert(Cube {
+                            mask: a.mask & !diff,
+                            val: a.val & !diff,
+                        });
+                        was_merged.insert(*a);
+                        was_merged.insert(*b);
+                    }
+                }
+            }
+        }
+        for &c in &current {
+            if !was_merged.contains(&c) {
+                primes.push(c);
+            }
+        }
+        current = merged;
+    }
+    let mut cubes: Vec<Cube> = primes
+        .into_iter()
+        .filter(|c| on_set.iter().any(|&p| c.contains(p)))
+        .collect();
+    cubes.sort_unstable();
+    cubes.dedup();
+    Cover { cubes }
+}
+
+/// Verifies that `cover` equals the incompletely-specified function:
+/// contains every ON point, excludes every OFF point (`off` = complement
+/// of ON ∪ DC).
+pub fn verify(cover: &Cover, on: &[u64], dc: &[u64], n: usize) -> bool {
+    let full = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+    let dc_set: HashSet<u64> = dc.iter().map(|&p| p & full).collect();
+    let on_set: HashSet<u64> = on.iter().map(|&p| p & full).collect();
+    for p in 0..=full {
+        let c = cover.contains(p);
+        if on_set.contains(&p) && !c {
+            return false;
+        }
+        if !on_set.contains(&p) && !dc_set.contains(&p) && c {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_basics() {
+        let c = Cube { mask: 0b101, val: 0b001 };
+        assert!(c.contains(0b001));
+        assert!(c.contains(0b011));
+        assert!(!c.contains(0b100));
+        assert_eq!(c.num_literals(), 2);
+        assert_eq!(c.literals(), vec![(0, true), (2, false)]);
+    }
+
+    #[test]
+    fn covers_relation() {
+        let big = Cube { mask: 0b001, val: 0b001 };
+        let small = Cube { mask: 0b011, val: 0b001 };
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+    }
+
+    #[test]
+    fn consensus_of_adjacent_cubes() {
+        // a·b and ā·c → consensus b·c
+        let ab = Cube { mask: 0b011, val: 0b011 };
+        let nac = Cube { mask: 0b101, val: 0b100 };
+        let cons = ab.consensus(&nac).unwrap();
+        assert_eq!(cons, Cube { mask: 0b110, val: 0b110 });
+        // Cubes opposing in two variables have no consensus.
+        let nanb = Cube { mask: 0b011, val: 0b000 };
+        assert_eq!(ab.consensus(&nanb), None);
+    }
+
+    #[test]
+    fn minimize_xor_needs_two_cubes() {
+        // XOR has no DC and no merging: two minterm cubes.
+        let on = [0b01u64, 0b10];
+        let cover = minimize(&on, &[], 2);
+        assert_eq!(cover.cubes.len(), 2);
+        assert!(verify(&cover, &on, &[], 2));
+    }
+
+    #[test]
+    fn minimize_with_dont_cares_collapses() {
+        // ON = {11}, DC = {01, 10}: a single 1-literal cube suffices.
+        let cover = minimize(&[0b11], &[0b01, 0b10], 2);
+        assert!(verify(&cover, &[0b11], &[0b01, 0b10], 2));
+        assert_eq!(cover.cubes.len(), 1);
+        assert!(cover.cubes[0].num_literals() <= 1);
+    }
+
+    #[test]
+    fn minimize_constant_one() {
+        let cover = minimize(&[0, 1, 2, 3], &[], 2);
+        assert_eq!(cover.cubes.len(), 1);
+        assert_eq!(cover.cubes[0].num_literals(), 0);
+    }
+
+    #[test]
+    fn minimize_empty_on() {
+        assert!(minimize(&[], &[0b1], 1).cubes.is_empty());
+    }
+
+    #[test]
+    fn c_element_cover() {
+        // f(a,b,y) = ab + y(a+b), the Muller C next-state function.
+        let mut on = Vec::new();
+        for p in 0..8u64 {
+            let (a, b, y) = (p & 1 != 0, p & 2 != 0, p & 4 != 0);
+            if (a && b) || (y && (a || b)) {
+                on.push(p);
+            }
+        }
+        let cover = minimize(&on, &[], 3);
+        assert!(verify(&cover, &on, &[], 3));
+        assert_eq!(cover.cubes.len(), 3, "ab, ay, by");
+        for c in &cover.cubes {
+            assert_eq!(c.num_literals(), 2);
+        }
+    }
+
+    #[test]
+    fn majority_of_five_is_exact() {
+        let n = 5;
+        let on: Vec<u64> = (0..32u64).filter(|p| p.count_ones() >= 3).collect();
+        let cover = minimize(&on, &[], n);
+        assert!(verify(&cover, &on, &[], n));
+        assert_eq!(cover.cubes.len(), 10, "C(5,3) three-literal primes");
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_on_dc_rejected() {
+        minimize(&[1], &[1], 2);
+    }
+
+    #[test]
+    fn all_primes_is_a_redundant_superset() {
+        // f = ab + āc has three primes: ab, āc and the consensus bc.
+        let on: Vec<u64> = (0..8u64)
+            .filter(|p| {
+                let (a, b, c) = (p & 1 != 0, p & 2 != 0, p & 4 != 0);
+                (a && b) || (!a && c)
+            })
+            .collect();
+        let min = minimize(&on, &[], 3);
+        let all = all_primes(&on, &[], 3);
+        assert_eq!(min.cubes.len(), 2);
+        assert_eq!(all.cubes.len(), 3, "includes the redundant consensus");
+        assert!(verify(&all, &on, &[], 3), "function unchanged");
+        for c in &min.cubes {
+            assert!(all.cubes.contains(c));
+        }
+    }
+
+    #[test]
+    fn support_lists_used_variables() {
+        let cover = Cover {
+            cubes: vec![Cube { mask: 0b101, val: 0 }, Cube { mask: 0b010, val: 0b010 }],
+        };
+        assert_eq!(cover.support(), vec![0, 1, 2]);
+    }
+}

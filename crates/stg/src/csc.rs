@@ -1,0 +1,137 @@
+//! State-coding checks: USC and CSC.
+//!
+//! *Unique State Coding* requires distinct reachable markings to have
+//! distinct binary codes.  *Complete State Coding* is weaker and is what
+//! logic synthesis actually needs: states sharing a code must agree on the
+//! next value of every non-input signal, otherwise the next-state function
+//! is ill-defined.
+
+use crate::error::StgError;
+use crate::model::Stg;
+use crate::sg::StateGraph;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Checks Unique State Coding.
+///
+/// # Errors
+///
+/// Returns [`StgError::UscViolation`] with a shared code.
+pub fn check_usc(sg: &StateGraph) -> Result<()> {
+    let mut by_code: HashMap<u64, u128> = HashMap::new();
+    for st in sg.states() {
+        if let Some(&m) = by_code.get(&st.code) {
+            if m != st.marking {
+                return Err(StgError::UscViolation { code: st.code });
+            }
+        } else {
+            by_code.insert(st.code, st.marking);
+        }
+    }
+    Ok(())
+}
+
+/// Checks Complete State Coding with respect to the non-input signals.
+///
+/// # Errors
+///
+/// Returns [`StgError::CscViolation`] naming the first conflicting signal.
+pub fn check_csc(stg: &Stg, sg: &StateGraph) -> Result<()> {
+    let outputs = stg.non_input_signals();
+    let mut by_code: HashMap<u64, usize> = HashMap::new();
+    for (i, st) in sg.states().iter().enumerate() {
+        if let Some(&j) = by_code.get(&st.code) {
+            for &s in &outputs {
+                if sg.next_value(stg, i, s) != sg.next_value(stg, j, s) {
+                    return Err(StgError::CscViolation {
+                        signal: stg.signal_name(s).to_string(),
+                        code: st.code,
+                    });
+                }
+            }
+        } else {
+            by_code.insert(st.code, i);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_g;
+
+    #[test]
+    fn sequencer_has_usc() {
+        let src = "\
+.model s
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+";
+        let g = parse_g(src).unwrap();
+        let sg = StateGraph::build(&g).unwrap();
+        check_usc(&sg).unwrap();
+        check_csc(&g, &sg).unwrap();
+    }
+
+    #[test]
+    fn back_to_back_handshakes_violate_usc_but_not_csc() {
+        // Two sequential input handshakes pass through all-zero twice.
+        let src = "\
+.model d
+.inputs r1 r2
+.outputs a1 a2
+.graph
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- r1+
+.marking { <a2-,r1+> }
+";
+        let g = parse_g(src).unwrap();
+        let sg = StateGraph::build(&g).unwrap();
+        assert!(matches!(check_usc(&sg), Err(StgError::UscViolation { .. })));
+        check_csc(&g, &sg).unwrap();
+    }
+
+    #[test]
+    fn csc_violation_detected() {
+        // Code (r=1, x=0) occurs twice: once heading for x+ and once (in
+        // the second, x-free handshake) with x stable — the next-state
+        // function of output x is ill-defined there.
+        let src = "\
+.model bad
+.inputs r
+.outputs x
+.graph
+r+ x+
+x+ r-
+r- x-
+x- r+/1
+r+/1 r-/1
+r-/1 r+
+.marking { <r-/1,r+> }
+";
+        let g = parse_g(src).unwrap();
+        let sg = StateGraph::build(&g).unwrap();
+        match check_csc(&g, &sg) {
+            Err(StgError::CscViolation { signal, code }) => {
+                assert_eq!(signal, "x");
+                assert_eq!(code, 0b01, "r high, x low");
+            }
+            other => panic!("expected CSC violation, got {other:?}"),
+        }
+        // And USC is of course also violated.
+        assert!(matches!(check_usc(&sg), Err(StgError::UscViolation { .. })));
+    }
+}

@@ -1,0 +1,389 @@
+//! Parser for the standard `.g` (astg) specification format.
+//!
+//! ```text
+//! # reconstruction of the classic seq4 controller
+//! .model seq4
+//! .inputs r
+//! .outputs a b
+//! .graph
+//! r+ a+
+//! a+ b+
+//! b+ r-
+//! r- a-
+//! a- b-
+//! b- r+
+//! .marking { <b-,r+> }
+//! .end
+//! ```
+//!
+//! Supported: `.model`, `.inputs`, `.outputs`, `.internal`, `.graph`,
+//! explicit places, transition instances (`a+/1`), `.marking` with both
+//! explicit places and implicit `<t,t>` places, and a non-standard
+//! `.init a=1 b=0` directive to pin initial signal values (otherwise they
+//! are inferred from the marking).
+
+use crate::error::StgError;
+use crate::model::{SignalClass, Stg, TransitionId};
+use crate::Result;
+use std::collections::HashMap;
+
+fn err(line: usize, msg: impl Into<String>) -> StgError {
+    StgError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Splits `a+/1` into (signal, rising, instance); `None` if not a
+/// transition token.
+fn parse_transition_token(tok: &str) -> Option<(&str, bool, u32)> {
+    let (head, inst) = match tok.split_once('/') {
+        Some((h, i)) => (h, i.parse::<u32>().ok()?),
+        None => (tok, 0),
+    };
+    let rising = if head.ends_with('+') {
+        true
+    } else if head.ends_with('-') {
+        false
+    } else {
+        return None;
+    };
+    let name = &head[..head.len() - 1];
+    if name.is_empty() {
+        return None;
+    }
+    Some((name, rising, inst))
+}
+
+/// Parses a `.g` source into an [`Stg`].
+///
+/// # Errors
+///
+/// Returns [`StgError::Parse`] on syntax errors and
+/// [`StgError::UnknownSignal`] when a transition uses an undeclared
+/// signal.
+pub fn parse_g(src: &str) -> Result<Stg> {
+    let mut stg = Stg::new("unnamed");
+    let mut classes: HashMap<String, SignalClass> = HashMap::new();
+    let mut declared: Vec<(String, SignalClass)> = Vec::new();
+    let mut graph_lines: Vec<(usize, String)> = Vec::new();
+    let mut marking_entries: Vec<(usize, String)> = Vec::new();
+    let mut inits: Vec<(usize, String, bool)> = Vec::new();
+    let mut in_graph = false;
+
+    for (ln0, raw) in src.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            in_graph = false;
+            let (dir, args) = match rest.split_once(char::is_whitespace) {
+                Some((d, a)) => (d, a.trim()),
+                None => (rest, ""),
+            };
+            match dir {
+                "model" | "name" => stg = Stg::new(args),
+                "inputs" => {
+                    for s in args.split_whitespace() {
+                        declared.push((s.to_string(), SignalClass::Input));
+                        classes.insert(s.to_string(), SignalClass::Input);
+                    }
+                }
+                "outputs" => {
+                    for s in args.split_whitespace() {
+                        declared.push((s.to_string(), SignalClass::Output));
+                        classes.insert(s.to_string(), SignalClass::Output);
+                    }
+                }
+                "internal" => {
+                    for s in args.split_whitespace() {
+                        declared.push((s.to_string(), SignalClass::Internal));
+                        classes.insert(s.to_string(), SignalClass::Internal);
+                    }
+                }
+                "graph" => in_graph = true,
+                "marking" => {
+                    let body = args
+                        .trim_start_matches('{')
+                        .trim_end_matches('}')
+                        .trim();
+                    // Entries are either `<t,t>` or a bare place name.
+                    let mut rest = body;
+                    while !rest.is_empty() {
+                        rest = rest.trim_start();
+                        if rest.starts_with('<') {
+                            let close = rest
+                                .find('>')
+                                .ok_or_else(|| err(ln, "unclosed `<` in marking"))?;
+                            marking_entries.push((ln, rest[..=close].to_string()));
+                            rest = &rest[close + 1..];
+                        } else {
+                            let end = rest
+                                .find(char::is_whitespace)
+                                .unwrap_or(rest.len());
+                            marking_entries.push((ln, rest[..end].to_string()));
+                            rest = &rest[end..];
+                        }
+                    }
+                }
+                "init" => {
+                    for tok in args.split_whitespace() {
+                        let (sig, val) = tok
+                            .split_once('=')
+                            .ok_or_else(|| err(ln, format!("expected `sig=0|1`, got `{tok}`")))?;
+                        let v = match val {
+                            "0" => false,
+                            "1" => true,
+                            _ => return Err(err(ln, format!("bad init value `{val}`"))),
+                        };
+                        inits.push((ln, sig.to_string(), v));
+                    }
+                }
+                "end" => break,
+                "capacity" | "outputs_internal" | "dummy" => {
+                    return Err(err(ln, format!("unsupported directive `.{dir}`")))
+                }
+                other => return Err(err(ln, format!("unknown directive `.{other}`"))),
+            }
+        } else if in_graph {
+            graph_lines.push((ln, line.to_string()));
+        } else {
+            return Err(err(ln, format!("unexpected content `{line}`")));
+        }
+    }
+
+    // Declare signals in declaration order so indices are predictable.
+    for (name, class) in &declared {
+        stg.add_signal(name.clone(), *class);
+    }
+
+    let mut transitions: HashMap<String, TransitionId> = HashMap::new();
+    let mut places: HashMap<String, u32> = HashMap::new();
+    let mut implicit: HashMap<(TransitionId, TransitionId), u32> = HashMap::new();
+
+    // Two passes over the graph: first learn all node tokens, then wire.
+    enum Node {
+        T(TransitionId),
+        P(u32),
+    }
+    let node_of = |stg: &mut Stg,
+                       transitions: &mut HashMap<String, TransitionId>,
+                       places: &mut HashMap<String, u32>,
+                       ln: usize,
+                       tok: &str|
+     -> Result<Node> {
+        if let Some((name, rising, inst)) = parse_transition_token(tok) {
+            let sig = stg
+                .signal_by_name(name)
+                .ok_or_else(|| StgError::UnknownSignal(name.to_string()))?;
+            let id = match transitions.get(tok) {
+                Some(&t) => t,
+                None => {
+                    let t = stg.add_transition(sig, rising, inst);
+                    transitions.insert(tok.to_string(), t);
+                    t
+                }
+            };
+            Ok(Node::T(id))
+        } else {
+            if tok.contains(['<', '>', ',']) {
+                return Err(err(ln, format!("bad token `{tok}`")));
+            }
+            let id = match places.get(tok) {
+                Some(&p) => p,
+                None => {
+                    let p = stg.add_place(Some(tok.to_string()));
+                    places.insert(tok.to_string(), p);
+                    p
+                }
+            };
+            Ok(Node::P(id))
+        }
+    };
+
+    for (ln, line) in &graph_lines {
+        let mut toks = line.split_whitespace();
+        let src_tok = toks.next().ok_or_else(|| err(*ln, "empty graph line"))?;
+        let src = node_of(&mut stg, &mut transitions, &mut places, *ln, src_tok)?;
+        for dst_tok in toks {
+            let dst = node_of(&mut stg, &mut transitions, &mut places, *ln, dst_tok)?;
+            match (&src, &dst) {
+                (Node::T(a), Node::T(b)) => {
+                    let p = *implicit.entry((*a, *b)).or_insert_with(|| stg.add_place(None));
+                    stg.arc_tp(*a, p);
+                    stg.arc_pt(p, *b);
+                }
+                (Node::T(a), Node::P(p)) => stg.arc_tp(*a, *p),
+                (Node::P(p), Node::T(b)) => stg.arc_pt(*p, *b),
+                (Node::P(_), Node::P(_)) => {
+                    return Err(err(*ln, "place-to-place arcs are not allowed"))
+                }
+            }
+        }
+    }
+
+    for (ln, entry) in &marking_entries {
+        if let Some(body) = entry.strip_prefix('<').and_then(|e| e.strip_suffix('>')) {
+            let (a, b) = body
+                .split_once(',')
+                .ok_or_else(|| err(*ln, format!("bad marking entry `{entry}`")))?;
+            let ta = *transitions
+                .get(a.trim())
+                .ok_or_else(|| err(*ln, format!("unknown transition `{a}` in marking")))?;
+            let tb = *transitions
+                .get(b.trim())
+                .ok_or_else(|| err(*ln, format!("unknown transition `{b}` in marking")))?;
+            let p = *implicit
+                .get(&(ta, tb))
+                .ok_or_else(|| err(*ln, format!("no implicit place between `{a}` and `{b}`")))?;
+            stg.mark(p);
+        } else {
+            let p = *places
+                .get(entry.as_str())
+                .ok_or_else(|| err(*ln, format!("unknown place `{entry}` in marking")))?;
+            stg.mark(p);
+        }
+    }
+
+    for (ln, name, v) in inits {
+        let s = stg
+            .signal_by_name(&name)
+            .ok_or_else(|| err(ln, format!("unknown signal `{name}` in .init")))?;
+        stg.set_initial_value(s, v);
+    }
+
+    Ok(stg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEQ: &str = "\
+.model seq2
+.inputs r
+.outputs a b
+.graph
+r+ a+
+a+ b+
+b+ r-
+r- a-
+a- b-
+b- r+
+.marking { <b-,r+> }
+.end
+";
+
+    #[test]
+    fn parses_sequencer() {
+        let g = parse_g(SEQ).unwrap();
+        assert_eq!(g.name(), "seq2");
+        assert_eq!(g.num_signals(), 3);
+        assert_eq!(g.transitions().len(), 6);
+        assert_eq!(g.num_places(), 6);
+        assert_eq!(g.initial_marking().len(), 1);
+    }
+
+    #[test]
+    fn transition_token_forms() {
+        assert_eq!(parse_transition_token("a+"), Some(("a", true, 0)));
+        assert_eq!(parse_transition_token("foo-/3"), Some(("foo", false, 3)));
+        assert_eq!(parse_transition_token("p1"), None);
+        assert_eq!(parse_transition_token("+"), None);
+    }
+
+    #[test]
+    fn explicit_places_and_marking() {
+        let src = "\
+.model x
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ b+
+b+ p0
+.marking { p0 }
+";
+        let g = parse_g(src).unwrap();
+        assert_eq!(g.num_places(), 2); // p0 + one implicit
+        assert_eq!(g.initial_marking().len(), 1);
+        assert_eq!(g.place_name(g.initial_marking()[0]), "p0");
+    }
+
+    #[test]
+    fn fan_out_line_creates_multiple_arcs() {
+        let src = "\
+.model f
+.inputs r
+.outputs x y
+.graph
+r+ x+ y+
+x+ r-
+y+ r-
+r- x- y-
+x- r+
+y- r+
+.marking { <x-,r+> <y-,r+> }
+";
+        let g = parse_g(src).unwrap();
+        // r+ has two output implicit places.
+        let rp = g
+            .transitions()
+            .iter()
+            .position(|t| g.signal_name(t.signal) == "r" && t.rising)
+            .unwrap();
+        assert_eq!(g.post(TransitionId(rp as u32)).len(), 2);
+        assert_eq!(g.initial_marking().len(), 2);
+    }
+
+    #[test]
+    fn init_directive() {
+        let src = "\
+.model i
+.inputs a
+.outputs b
+.graph
+a- b-
+b- a-
+.marking { <b-,a-> }
+.init a=1 b=1
+";
+        let g = parse_g(src).unwrap();
+        assert_eq!(g.explicit_initial_values().len(), 2);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        match parse_g(".bogus x\n") {
+            Err(StgError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_g(".model m\n.graph\nq+ r+\n"),
+            Err(StgError::UnknownSignal(_))
+        ));
+        assert!(parse_g(".model m\n.inputs a\n.graph\np q\n").is_err());
+        assert!(parse_g(".model m\n.inputs a\n.marking { <a+,a-> }\n").is_err());
+    }
+
+    #[test]
+    fn marking_with_multiple_entries_no_spaces() {
+        let src = "\
+.model m
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+><c-,b+> }
+";
+        let g = parse_g(src).unwrap();
+        assert_eq!(g.initial_marking().len(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the two-level minimizer on random incompletely
+//! specified functions.
+
+use proptest::prelude::*;
+use satpg_stg::cover::{all_primes, minimize, verify};
+
+fn split_sets(on_mask: u16, dc_mask: u16, n: usize) -> (Vec<u64>, Vec<u64>) {
+    let size = 1usize << n;
+    let mut on = Vec::new();
+    let mut dc = Vec::new();
+    for p in 0..size {
+        let bit = 1u16 << p;
+        if on_mask & bit != 0 {
+            on.push(p as u64);
+        } else if dc_mask & bit != 0 {
+            dc.push(p as u64);
+        }
+    }
+    (on, dc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The minimized cover realizes the function: every ON point in,
+    /// every OFF point out (4-variable functions, exhaustive check).
+    #[test]
+    fn minimize_is_correct(on_mask in any::<u16>(), dc_mask in any::<u16>()) {
+        let (on, dc) = split_sets(on_mask, dc_mask, 4);
+        let cover = minimize(&on, &dc, 4);
+        prop_assert!(verify(&cover, &on, &dc, 4));
+    }
+
+    /// No cube of the minimized cover is redundant: dropping any cube
+    /// uncovers some ON point.
+    #[test]
+    fn minimize_is_irredundant(on_mask in any::<u16>(), dc_mask in any::<u16>()) {
+        let (on, dc) = split_sets(on_mask, dc_mask, 4);
+        let cover = minimize(&on, &dc, 4);
+        for skip in 0..cover.cubes.len() {
+            let missing = on.iter().any(|&p| {
+                !cover
+                    .cubes
+                    .iter()
+                    .enumerate()
+                    .any(|(i, c)| i != skip && c.contains(p))
+            });
+            prop_assert!(missing, "cube {skip} is redundant");
+        }
+    }
+
+    /// The all-primes cover realizes the same function and contains the
+    /// minimal cover's worth of primes.
+    #[test]
+    fn all_primes_same_function(on_mask in any::<u16>(), dc_mask in any::<u16>()) {
+        let (on, dc) = split_sets(on_mask, dc_mask, 4);
+        let full = all_primes(&on, &dc, 4);
+        prop_assert!(verify(&full, &on, &dc, 4));
+        let min = minimize(&on, &dc, 4);
+        prop_assert!(full.cubes.len() >= min.cubes.len());
+        // Every cube of the full cover is prime: expanding any literal
+        // hits the OFF set.
+        let off: Vec<u64> = (0..16u64)
+            .filter(|p| !on.contains(p) && !dc.contains(p))
+            .collect();
+        for c in &full.cubes {
+            for (v, _) in c.literals() {
+                let expanded = satpg_stg::cover::Cube {
+                    mask: c.mask & !(1 << v),
+                    val: c.val & !(1 << v),
+                };
+                let hits_off = off.iter().any(|&p| expanded.contains(p));
+                prop_assert!(hits_off, "literal {v} of {c:?} is removable");
+            }
+        }
+    }
+
+    /// Consensus of two cover cubes never changes the function.
+    #[test]
+    fn consensus_preserves_function(on_mask in any::<u16>(), dc_mask in any::<u16>()) {
+        let (on, dc) = split_sets(on_mask, dc_mask, 4);
+        let cover = minimize(&on, &dc, 4);
+        let aug = satpg_stg::synth::add_consensus_cubes(&cover);
+        for p in 0..16u64 {
+            prop_assert_eq!(cover.contains(p), aug.contains(p));
+        }
+    }
+}

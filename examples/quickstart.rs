@@ -1,0 +1,52 @@
+//! Quickstart: build a Muller C-element, compute its synchronous
+//! abstraction (the CSSG), run the full ATPG flow and print the tester
+//! program.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use satpg::core::tester::TestProgram;
+use satpg::prelude::*;
+
+fn main() {
+    // A C-element: output rises when both inputs are 1, falls when both
+    // are 0, holds otherwise.
+    let ckt = satpg::netlist::library::c_element();
+    println!("{ckt}");
+
+    // The synchronous abstraction: stable states + validated vectors.
+    let cssg = build_cssg(&ckt, &CssgConfig::default()).expect("stable reset");
+    println!(
+        "CSSG(k={}): {} stable states, {} edges; pruned {} racing and {} oscillating vectors",
+        cssg.k(),
+        cssg.num_states(),
+        cssg.num_edges(),
+        cssg.pruned_nonconfluent(),
+        cssg.pruned_unstable(),
+    );
+
+    // Full flow: random TPG, three-phase ATPG, fault simulation.
+    let report = run_atpg(&ckt, &AtpgConfig::paper()).expect("ATPG runs");
+    println!(
+        "input stuck-at: {}/{} covered ({:.1}%) — random {}, 3-phase {}, fault-sim {}",
+        report.covered(),
+        report.total(),
+        report.coverage(),
+        report.covered_by(Phase::Random),
+        report.covered_by(Phase::ThreePhase),
+        report.covered_by(Phase::FaultSim),
+    );
+
+    // Every test validates against the exhaustive delay-nondeterminism
+    // oracle, and renders as a synchronous tester program.
+    let mut program = TestProgram::new(&ckt);
+    for (i, seq) in report.tests.iter().enumerate() {
+        for record in &report.records {
+            if record.test == Some(i) {
+                let verdict = validate_test(&ckt, &record.fault, seq, cssg.k());
+                assert!(matches!(verdict, Verdict::Detects { .. }));
+            }
+        }
+        program.push_sequence(&ckt, &cssg, format!("test {i}"), seq);
+    }
+    println!("\n{program}");
+}

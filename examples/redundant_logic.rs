@@ -1,0 +1,38 @@
+//! The Table 2 phenomenon: hazard-free bounded-delay synthesis adds
+//! redundant cover cubes, and redundant logic is untestable.  Compare the
+//! minimal-cover and all-primes two-level implementations of the same
+//! specification.
+//!
+//! Run with `cargo run --release --example redundant_logic`.
+
+use satpg::prelude::*;
+use satpg::stg::synth::{two_level, Redundancy};
+use satpg::stg::suite;
+
+fn main() {
+    for name in ["vbe6a", "trimos-send"] {
+        let stg = suite::load(name).expect("bundled");
+        let sg = StateGraph::build(&stg).expect("well-formed");
+        for (label, redundancy) in [
+            ("minimal cover", Redundancy::None),
+            ("all primes (redundant)", Redundancy::AllPrimes),
+        ] {
+            let ckt = two_level(&stg, &sg, redundancy).expect("synthesizable");
+            let report = run_atpg(&ckt, &AtpgConfig::paper()).expect("ATPG runs");
+            println!(
+                "{name:<12} {label:<24} gates {:>3}  faults {:>4}  coverage {:>6.2}%  untestable {:>3}  CPU {:>9} µs",
+                ckt.num_gates(),
+                report.total(),
+                report.coverage(),
+                report.untestable(),
+                report.us_total(),
+            );
+        }
+    }
+    println!(
+        "\nRedundant cubes never change the function, but their fault sites have no test:\n\
+         coverage collapses and the 3-phase search burns its time proving untestability —\n\
+         exactly the paper's trimos-send/vbe10b/vbe6a observation (and its motivation for\n\
+         classifying undetectable faults up front)."
+    );
+}

@@ -1,0 +1,263 @@
+//! The `satpg` command-line interface.
+//!
+//! ```text
+//! satpg list                         # bundled benchmarks
+//! satpg synth <bench> [--style si|2l|2lr]     # print the netlist
+//! satpg cssg <bench> [--style …] [--k N]      # synchronous abstraction
+//! satpg atpg <bench> [--style …] [--output-model] [--collapse] [--no-random]
+//! satpg scan <bench> [--style …]     # scan-point candidates (extension)
+//! satpg table <1|2>                  # regenerate a paper table
+//! satpg dot <bench> [--style …]      # Graphviz export
+//! ```
+
+use satpg::core::report::{format_table, TableRow};
+use satpg::core::{build_cssg, run_atpg, AtpgConfig, CssgConfig, FaultModel};
+use satpg::core::tester::TestProgram;
+use satpg::netlist::Circuit;
+use satpg::stg::synth::{complex_gate, two_level, Redundancy};
+use satpg::stg::{suite, StateGraph};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: satpg <command> [...]\n\
+         commands:\n  \
+           list\n  \
+           synth <bench> [--style si|2l|2lr]\n  \
+           cssg  <bench> [--style si|2l|2lr] [--k N]\n  \
+           atpg  <bench> [--style si|2l|2lr] [--output-model] [--collapse] [--no-random] [--program]\n  \
+           scan  <bench> [--style si|2l|2lr]\n  \
+           table <1|2>\n  \
+           dot   <bench> [--style si|2l|2lr]"
+    );
+    ExitCode::FAILURE
+}
+
+struct Opts {
+    bench: Option<String>,
+    style: String,
+    k: Option<usize>,
+    output_model: bool,
+    collapse: bool,
+    no_random: bool,
+    program: bool,
+}
+
+fn parse_opts(args: &[String]) -> Option<Opts> {
+    let mut o = Opts {
+        bench: None,
+        style: "si".into(),
+        k: None,
+        output_model: false,
+        collapse: false,
+        no_random: false,
+        program: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--style" => o.style = it.next()?.clone(),
+            "--k" => o.k = Some(it.next()?.parse().ok()?),
+            "--output-model" => o.output_model = true,
+            "--collapse" => o.collapse = true,
+            "--no-random" => o.no_random = true,
+            "--program" => o.program = true,
+            s if !s.starts_with('-') && o.bench.is_none() => o.bench = Some(s.to_string()),
+            _ => return None,
+        }
+    }
+    o.bench.as_ref()?;
+    Some(o)
+}
+
+fn synthesize(name: &str, style: &str) -> Result<Circuit, String> {
+    let stg = suite::load(name).map_err(|e| format!("{name}: {e}"))?;
+    let sg = StateGraph::build(&stg).map_err(|e| format!("{name}: {e}"))?;
+    match style {
+        "si" => complex_gate(&stg, &sg).map_err(|e| e.to_string()),
+        "2l" => two_level(&stg, &sg, Redundancy::None).map_err(|e| e.to_string()),
+        "2lr" => two_level(&stg, &sg, Redundancy::AllPrimes).map_err(|e| e.to_string()),
+        other => Err(format!("unknown style `{other}` (si|2l|2lr)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            for &n in suite::NAMES {
+                let tag = if suite::is_redundant(n) { "  (redundant in table 2)" } else { "" };
+                println!("{n}{tag}");
+            }
+            ExitCode::SUCCESS
+        }
+        "table" => match args.get(1).map(String::as_str) {
+            Some("1") => {
+                let rows: Vec<TableRow> = suite::NAMES
+                    .iter()
+                    .map(|&n| {
+                        let ckt = synthesize(n, "si").expect("suite synthesizes");
+                        row_for(&ckt, n)
+                    })
+                    .collect();
+                print!("{}", format_table("Table 1 (speed-independent)", &rows));
+                ExitCode::SUCCESS
+            }
+            Some("2") => {
+                let rows: Vec<TableRow> = suite::NAMES
+                    .iter()
+                    .map(|&n| {
+                        let style = if suite::is_redundant(n) { "2lr" } else { "2l" };
+                        let ckt = synthesize(n, style).expect("suite synthesizes");
+                        row_for(&ckt, n)
+                    })
+                    .collect();
+                print!("{}", format_table("Table 2 (bounded delays)", &rows));
+                ExitCode::SUCCESS
+            }
+            _ => usage(),
+        },
+        "synth" | "cssg" | "atpg" | "dot" | "scan" => {
+            let Some(o) = parse_opts(&args[1..]) else {
+                return usage();
+            };
+            let name = o.bench.as_deref().expect("checked");
+            let ckt = match synthesize(name, &o.style) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "synth" => {
+                    println!("{ckt}");
+                    for (gi, g) in ckt.gates().iter().enumerate() {
+                        let out = ckt.gate_output(satpg::netlist::GateId(gi as u32));
+                        let ins: Vec<&str> =
+                            g.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
+                        println!("  {} = {}({})", ckt.signal_name(out), g.kind.name(), ins.join(", "));
+                    }
+                }
+                "dot" => print!("{}", ckt.to_dot()),
+                "cssg" => {
+                    let cfg = CssgConfig {
+                        k: o.k,
+                        ..CssgConfig::default()
+                    };
+                    match build_cssg(&ckt, &cfg) {
+                        Ok(c) => {
+                            println!(
+                                "CSSG(k={}): {} stable states, {} edges; pruned {} non-confluent, {} unstable",
+                                c.k(),
+                                c.num_states(),
+                                c.num_edges(),
+                                c.pruned_nonconfluent(),
+                                c.pruned_unstable()
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                "atpg" => {
+                    let cfg = AtpgConfig {
+                        cssg: CssgConfig {
+                            k: o.k,
+                            ..CssgConfig::default()
+                        },
+                        random: if o.no_random {
+                            None
+                        } else {
+                            Some(Default::default())
+                        },
+                        fault_model: if o.output_model {
+                            FaultModel::OutputStuckAt
+                        } else {
+                            FaultModel::InputStuckAt
+                        },
+                        collapse: o.collapse,
+                        fault_sim: true,
+                        ..Default::default()
+                    };
+                    match run_atpg(&ckt, &cfg) {
+                        Ok(r) => {
+                            println!(
+                                "{}: {}/{} detected ({:.2}% coverage, {:.2}% efficiency), {} untestable, {} aborted, {} tests, {} us",
+                                r.circuit,
+                                r.covered(),
+                                r.total(),
+                                r.coverage(),
+                                r.efficiency(),
+                                r.untestable(),
+                                r.aborted(),
+                                r.tests.len(),
+                                r.us_total()
+                            );
+                            if o.program {
+                                let cssg = build_cssg(&ckt, &cfg.cssg).expect("built above");
+                                let mut prog = TestProgram::new(&ckt);
+                                for (i, t) in r.tests.iter().enumerate() {
+                                    prog.push_sequence(&ckt, &cssg, format!("test {i}"), t);
+                                }
+                                print!("{prog}");
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                "scan" => {
+                    let cfg = CssgConfig::default();
+                    let cssg = build_cssg(&ckt, &cfg).expect("stable reset");
+                    let report = run_atpg(&ckt, &AtpgConfig::paper()).expect("ATPG runs");
+                    let analysis = satpg::core::scan_candidates(
+                        &ckt,
+                        &cssg,
+                        &report,
+                        &Default::default(),
+                    );
+                    println!(
+                        "{}: {}/{} undetected; scan candidates:",
+                        ckt.name(),
+                        report.total() - report.covered(),
+                        report.total()
+                    );
+                    for c in analysis.candidates.iter().take(8) {
+                        println!(
+                            "  observe {:<12} exposes {:>3} faults",
+                            ckt.signal_name(c.signal),
+                            c.exposes.len()
+                        );
+                    }
+                    if !analysis.hopeless.is_empty() {
+                        println!("  {} faults exposed by no single point", analysis.hopeless.len());
+                    }
+                }
+                _ => unreachable!(),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn row_for(ckt: &Circuit, name: &str) -> TableRow {
+    let input = run_atpg(ckt, &AtpgConfig::paper()).expect("ATPG runs");
+    let output = run_atpg(
+        ckt,
+        &AtpgConfig {
+            fault_model: FaultModel::OutputStuckAt,
+            ..AtpgConfig::paper()
+        },
+    )
+    .expect("ATPG runs");
+    TableRow::new(name, &output, &input)
+}
