@@ -138,6 +138,32 @@ impl Manager {
         self.cache.clear();
     }
 
+    /// Number of entries in the operation cache.
+    ///
+    /// Together with [`Manager::num_nodes`] this is the per-manager
+    /// telemetry the fault-parallel engine reports for each worker.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of entries in the unique (hash-cons) table.
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Bounded-cache heuristic: drops the operation cache if it has grown
+    /// past `max_entries`, returning whether it was cleared.  Long-lived
+    /// managers (one per engine worker) call this between unrelated
+    /// computations to bound memory without invalidating any nodes.
+    pub fn clear_cache_if_above(&mut self, max_entries: usize) -> bool {
+        if self.cache.len() > max_entries {
+            self.cache.clear();
+            true
+        } else {
+            false
+        }
+    }
+
     #[inline]
     fn node(&self, f: Bdd) -> Node {
         self.nodes[f.0 as usize]
@@ -175,7 +201,10 @@ impl Manager {
         if lo == hi {
             return lo;
         }
-        debug_assert!(var < self.var_of(lo).min(self.var_of(hi)), "order violation");
+        debug_assert!(
+            var < self.var_of(lo).min(self.var_of(hi)),
+            "order violation"
+        );
         let key = (var, lo.0, hi.0);
         if let Some(&i) = self.unique.get(&key) {
             return Bdd(i);
@@ -369,10 +398,7 @@ impl Manager {
         if let Some(&r) = self.cache.get(&key) {
             return Bdd(r);
         }
-        let v = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -562,7 +588,11 @@ impl Manager {
         sorted.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
         let mut acc = Bdd::TRUE;
         for &(v, pos) in &sorted {
-            let (lo, hi) = if pos { (Bdd::FALSE, acc) } else { (acc, Bdd::FALSE) };
+            let (lo, hi) = if pos {
+                (Bdd::FALSE, acc)
+            } else {
+                (acc, Bdd::FALSE)
+            };
             acc = self.mk(v, lo, hi);
         }
         acc
@@ -609,12 +639,43 @@ impl Manager {
     }
 }
 
+// Each engine worker owns a private `Manager` and managers migrate into
+// worker threads, so the type must stay `Send` (it holds no interior
+// sharing).  Compile-time assertion: breaking this fails the build.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Manager>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn mgr() -> Manager {
         Manager::new(8)
+    }
+
+    #[test]
+    fn cache_stats_and_bounded_clear() {
+        let mut m = mgr();
+        assert_eq!(m.cache_len(), 0);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let o = m.or(ab, a);
+        assert!(m.cache_len() > 0, "operations populate the cache");
+        assert!(m.unique_len() > 0);
+        let before_nodes = m.num_nodes();
+
+        assert!(!m.clear_cache_if_above(1 << 20), "below the bound: kept");
+        assert!(m.cache_len() > 0);
+        assert!(m.clear_cache_if_above(0), "above the bound: cleared");
+        assert_eq!(m.cache_len(), 0);
+
+        // Clearing never invalidates nodes; results stay canonical.
+        assert_eq!(m.num_nodes(), before_nodes);
+        assert_eq!(m.and(a, b), ab);
+        assert_eq!(m.or(ab, a), o);
     }
 
     #[test]

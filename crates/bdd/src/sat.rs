@@ -6,11 +6,7 @@ impl Manager {
     /// Number of satisfying assignments of `f` over variables
     /// `0..num_vars`, as an `f64` (exact for < 2⁵³).
     pub fn sat_count(&self, f: Bdd) -> f64 {
-        fn rec(
-            m: &Manager,
-            f: Bdd,
-            memo: &mut std::collections::HashMap<u32, f64>,
-        ) -> f64 {
+        fn rec(m: &Manager, f: Bdd, memo: &mut std::collections::HashMap<u32, f64>) -> f64 {
             // Returns models over variables strictly below var(f)..num_vars,
             // normalized to "per remaining level at var(f)".
             if f.is_false() {

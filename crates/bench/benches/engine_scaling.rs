@@ -1,0 +1,100 @@
+//! Engine scaling: wall-clock of the fault-parallel campaign vs worker
+//! count on generated workloads (a DME token ring and a deep Muller
+//! pipeline).
+//!
+//! Run with `cargo bench -p satpg-bench --bench engine_scaling`.
+//! Besides the human-readable table, one JSON line per measurement goes
+//! to stdout and the full trajectory is written to
+//! `target/engine_scaling.json` for the bench-tracking tooling.
+//!
+//! Random TPG is disabled so every fault class reaches the parallel
+//! targeted phase — the component whose scaling is under test.
+
+use satpg_core::AtpgConfig;
+use satpg_engine::{run_engine, EngineConfig};
+use satpg_netlist::{families as nf, Circuit};
+use satpg_stg::synth::complex_gate;
+use satpg_stg::{families as sf, StateGraph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn dme_circuit(cells: usize) -> Circuit {
+    let stg = sf::dme_ring(cells).expect("generated ring parses");
+    let sg = StateGraph::build(&stg).expect("generated ring is well-formed");
+    complex_gate(&stg, &sg).expect("generated ring synthesizes")
+}
+
+fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, String) {
+    let cfg = EngineConfig {
+        atpg: AtpgConfig {
+            random: None,
+            fault_sim: true,
+            ..AtpgConfig::default()
+        },
+        workers,
+        broadcast: true,
+        symbolic_audit: false,
+    };
+    // Warm-up, then best-of-`reps` wall clock.
+    let mut best = u128::MAX;
+    let mut last = None;
+    for _ in 0..=reps {
+        let t = Instant::now();
+        let out = run_engine(ckt, &cfg).expect("engine runs");
+        let us = t.elapsed().as_micros();
+        if last.is_some() {
+            best = best.min(us);
+        }
+        last = Some(out);
+    }
+    let out = last.expect("ran at least once");
+    let json = format!(
+        "{{\"bench\":\"engine_scaling\",\"workload\":\"{label}\",\"workers\":{workers},\
+         \"best_us\":{best},\"faults\":{},\"coverage\":{:.2},\
+         \"parallel_verdicts\":{},\"merge_fallbacks\":{}}}",
+        out.report.total(),
+        out.report.coverage(),
+        out.parallel_verdicts,
+        out.merge_fallbacks,
+    );
+    (best, json)
+}
+
+fn main() {
+    let workloads: Vec<(&str, Circuit)> = vec![
+        ("dme_ring5", dme_circuit(5)),
+        ("muller_pipe8", nf::muller_pipeline(8)),
+        ("arbiter5", nf::arbiter_tree(5)),
+    ];
+    let mut trajectory = String::from("[\n");
+    let mut first = true;
+    for (label, ckt) in &workloads {
+        let mut base_us = 0u128;
+        for workers in [1usize, 2, 4, 8] {
+            let (best, json) = measure(label, ckt, workers, 3);
+            if workers == 1 {
+                base_us = best;
+            }
+            let speedup = base_us as f64 / best.max(1) as f64;
+            println!(
+                "bench engine_scaling/{label}/w{workers:<2} {best:>10} us  (speedup x{speedup:.2})"
+            );
+            println!("{json}");
+            if !first {
+                trajectory.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(trajectory, "  {json}");
+        }
+    }
+    trajectory.push_str("\n]\n");
+    // Benches run with the package as CWD; anchor on the workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("target");
+    let _ = std::fs::create_dir_all(&path);
+    let out = path.join("engine_scaling.json");
+    match std::fs::write(&out, &trajectory) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use satpg_bench::{synthesize, Style};
 use satpg_sim::{
-    parallel_settle, settle_explicit, ternary_settle, ExplicitConfig, Injection,
-    ParallelInjection, PlaneState,
+    parallel_settle, settle_explicit, ternary_settle, ExplicitConfig, Injection, ParallelInjection,
+    PlaneState,
 };
 
 fn bench_sim(c: &mut Criterion) {

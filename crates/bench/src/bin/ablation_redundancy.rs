@@ -16,7 +16,10 @@ fn main() {
     for name in ["trimos-send", "vbe10b", "vbe6a"] {
         let stg = suite::load(name).unwrap();
         let sg = StateGraph::build(&stg).unwrap();
-        for (label, red) in [("minimal", Redundancy::None), ("all-primes", Redundancy::AllPrimes)] {
+        for (label, red) in [
+            ("minimal", Redundancy::None),
+            ("all-primes", Redundancy::AllPrimes),
+        ] {
             let ckt = two_level(&stg, &sg, red).unwrap();
             let r = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
             println!(

@@ -10,15 +10,27 @@ fn main() {
     for (gi, g) in ckt.gates().iter().enumerate() {
         let out = ckt.gate_output(satpg_netlist::GateId(gi as u32));
         let ins: Vec<&str> = g.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
-        println!("  gate {} = {:?}({})", ckt.signal_name(out), g.kind, ins.join(", "));
+        println!(
+            "  gate {} = {:?}({})",
+            ckt.signal_name(out),
+            g.kind,
+            ins.join(", ")
+        );
     }
     let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
-    println!("CSSG: {} states, {} edges (pruned nc={}, unst={})",
-        cssg.num_states(), cssg.num_edges(), cssg.pruned_nonconfluent(), cssg.pruned_unstable());
+    println!(
+        "CSSG: {} states, {} edges (pruned nc={}, unst={})",
+        cssg.num_states(),
+        cssg.num_edges(),
+        cssg.pruned_nonconfluent(),
+        cssg.pruned_unstable()
+    );
     for f in output_stuck_faults(&ckt) {
         let st = three_phase(&ckt, &cssg, &f, &ThreePhaseConfig::default());
         let txt = match &st {
-            satpg_core::FaultStatus::Detected { sequence } => format!("DETECTED {:?}", sequence.patterns),
+            satpg_core::FaultStatus::Detected { sequence } => {
+                format!("DETECTED {:?}", sequence.patterns)
+            }
             other => format!("{other:?}"),
         };
         if !txt.starts_with("DETECTED") {

@@ -5,13 +5,20 @@ use satpg_core::{build_cssg, CssgConfig};
 use satpg_sim::{settle_explicit, ExplicitConfig, Injection, Settle};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "alloc-outbound".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "alloc-outbound".into());
     let ckt = synthesize(&name, Style::BoundedDelay);
     println!("{ckt}");
     for (gi, g) in ckt.gates().iter().enumerate() {
         let out = ckt.gate_output(satpg_netlist::GateId(gi as u32));
         let ins: Vec<&str> = g.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
-        println!("  gate {} = {}({})", ckt.signal_name(out), g.kind.name(), ins.join(", "));
+        println!(
+            "  gate {} = {}({})",
+            ckt.signal_name(out),
+            g.kind.name(),
+            ins.join(", ")
+        );
     }
     let cfg = ExplicitConfig::for_circuit(&ckt);
     for pattern in 0..(1u64 << ckt.num_inputs()) {

@@ -4,10 +4,12 @@
 use crate::cssg::{Cssg, TestSequence};
 use crate::error::CoreError;
 use crate::explicit_cssg::{build_cssg, CssgConfig};
-use crate::fault::{collapse_faults, input_stuck_faults, output_stuck_faults, Fault};
-use crate::fsim::fault_simulate;
-use crate::random_tpg::{random_tpg, RandomTpgConfig};
-use crate::three_phase::{three_phase, FaultStatus, ThreePhaseConfig};
+use crate::fault::{input_stuck_faults, output_stuck_faults, Fault};
+use crate::random_tpg::RandomTpgConfig;
+use crate::stages::{
+    assemble_report, random_stage, targeted_stage, FaultPlan, StageState, StageTimings,
+};
+use crate::three_phase::{three_phase, ThreePhaseConfig};
 use crate::Result;
 use satpg_netlist::Circuit;
 use std::time::Instant;
@@ -107,7 +109,10 @@ impl AtpgReport {
 
     /// Number of detected faults.
     pub fn covered(&self) -> usize {
-        self.records.iter().filter(|r| r.detected_by.is_some()).count()
+        self.records
+            .iter()
+            .filter(|r| r.detected_by.is_some())
+            .count()
     }
 
     /// Detected faults attributed to `phase`.
@@ -172,6 +177,10 @@ pub fn run_atpg(ckt: &Circuit, cfg: &AtpgConfig) -> Result<AtpgReport> {
 }
 
 /// Runs the flow against an explicit fault list and a prebuilt CSSG.
+///
+/// This is the serial driver over the resumable stages of
+/// [`crate::stages`]: plan → random → targeted (with the real
+/// [`three_phase`] as the verdict oracle) → report.
 pub(crate) fn run_atpg_on(
     ckt: &Circuit,
     cssg: &Cssg,
@@ -179,134 +188,40 @@ pub(crate) fn run_atpg_on(
     cfg: &AtpgConfig,
     us_cssg: u128,
 ) -> Result<AtpgReport> {
-    // Fault classes: singletons unless collapsing is on.
-    let classes = if cfg.collapse {
-        collapse_faults(ckt, faults)
-    } else {
-        faults
-            .iter()
-            .map(|&f| crate::fault::FaultClass {
-                representative: f,
-                members: vec![f],
-            })
-            .collect()
-    };
-    // Map faults back to their class index.
-    let mut class_of = std::collections::HashMap::new();
-    for (ci, c) in classes.iter().enumerate() {
-        for &m in &c.members {
-            class_of.insert(m, ci);
-        }
-    }
+    let plan = FaultPlan::new(ckt, faults, cfg.collapse);
+    let mut state = StageState::new(plan.len());
 
-    #[derive(Clone)]
-    enum ClassState {
-        Open,
-        Detected(Phase, usize),
-        Untestable,
-        Aborted,
-    }
-    let mut state = vec![ClassState::Open; classes.len()];
-    let mut tests: Vec<TestSequence> = Vec::new();
-    let intern_test = |tests: &mut Vec<TestSequence>, seq: TestSequence| -> usize {
-        match tests.iter().position(|t| *t == seq) {
-            Some(i) => i,
-            None => {
-                tests.push(seq);
-                tests.len() - 1
-            }
-        }
-    };
-
-    // --- Random TPG. ---
     let t1 = Instant::now();
     if let Some(rnd_cfg) = &cfg.random {
-        let reps: Vec<Fault> = classes.iter().map(|c| c.representative).collect();
-        let res = random_tpg(ckt, cssg, &reps, rnd_cfg);
-        for (ci, seq) in res.detected {
-            if matches!(state[ci], ClassState::Open) {
-                let ti = intern_test(&mut tests, seq);
-                state[ci] = ClassState::Detected(Phase::Random, ti);
-            }
-        }
+        random_stage(ckt, cssg, &plan, rnd_cfg, &mut state);
     }
     let us_random = t1.elapsed().as_micros();
 
-    // --- Three-phase + fault simulation. ---
     let t2 = Instant::now();
-    for ci in 0..classes.len() {
-        if !matches!(state[ci], ClassState::Open) {
-            continue;
-        }
-        match three_phase(ckt, cssg, &classes[ci].representative, &cfg.three_phase) {
-            FaultStatus::Detected { sequence } => {
-                let ti = intern_test(&mut tests, sequence.clone());
-                state[ci] = ClassState::Detected(Phase::ThreePhase, ti);
-                if cfg.fault_sim {
-                    let open: Vec<(usize, Fault)> = (0..classes.len())
-                        .filter(|&cj| matches!(state[cj], ClassState::Open))
-                        .map(|cj| (cj, classes[cj].representative))
-                        .collect();
-                    let open_faults: Vec<Fault> = open.iter().map(|&(_, f)| f).collect();
-                    for hit in fault_simulate(ckt, cssg, &sequence, &open_faults) {
-                        let (cj, _) = open[hit];
-                        state[cj] = ClassState::Detected(Phase::FaultSim, ti);
-                    }
-                }
-            }
-            FaultStatus::Untestable(_) => state[ci] = ClassState::Untestable,
-            FaultStatus::Aborted => state[ci] = ClassState::Aborted,
-        }
-    }
+    let queue: Vec<usize> = (0..plan.len()).collect();
+    targeted_stage(
+        ckt,
+        cssg,
+        &plan,
+        cfg.fault_sim,
+        &queue,
+        &mut state,
+        &mut |_, f| three_phase(ckt, cssg, f, &cfg.three_phase),
+    );
     let us_three_phase = t2.elapsed().as_micros();
 
-    let records = faults
-        .iter()
-        .map(|f| {
-            let ci = class_of[f];
-            match &state[ci] {
-                ClassState::Detected(phase, ti) => FaultRecord {
-                    fault: *f,
-                    detected_by: Some(*phase),
-                    test: Some(*ti),
-                    untestable: false,
-                    aborted: false,
-                },
-                ClassState::Untestable => FaultRecord {
-                    fault: *f,
-                    detected_by: None,
-                    test: None,
-                    untestable: true,
-                    aborted: false,
-                },
-                ClassState::Aborted => FaultRecord {
-                    fault: *f,
-                    detected_by: None,
-                    test: None,
-                    untestable: false,
-                    aborted: true,
-                },
-                ClassState::Open => FaultRecord {
-                    fault: *f,
-                    detected_by: None,
-                    test: None,
-                    untestable: false,
-                    aborted: false,
-                },
-            }
-        })
-        .collect();
-
-    Ok(AtpgReport {
-        circuit: ckt.name().to_string(),
-        cssg_states: cssg.num_states(),
-        cssg_edges: cssg.num_edges(),
-        records,
-        tests,
-        us_cssg,
-        us_random,
-        us_three_phase,
-    })
+    Ok(assemble_report(
+        ckt,
+        cssg,
+        faults,
+        &plan,
+        state,
+        StageTimings {
+            us_cssg,
+            us_random,
+            us_three_phase,
+        },
+    ))
 }
 
 #[cfg(test)]

@@ -31,10 +31,16 @@ impl fmt::Display for CoreError {
                 write!(f, "circuit has {n} primary inputs; at most 63 supported")
             }
             CoreError::TooManyStateBits(n) => {
-                write!(f, "circuit has {n} state bits; symbolic encoding supports 32")
+                write!(
+                    f,
+                    "circuit has {n} state bits; symbolic encoding supports 32"
+                )
             }
             CoreError::NoValidVectors => {
-                write!(f, "no valid synchronous test vector exists for this circuit")
+                write!(
+                    f,
+                    "no valid synchronous test vector exists for this circuit"
+                )
             }
             CoreError::Netlist(m) => write!(f, "netlist error: {m}"),
         }

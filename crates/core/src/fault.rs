@@ -236,10 +236,7 @@ mod tests {
         // AND pins SA0 + output SA0 merge into one class of 3.
         let sa0_class = classes
             .iter()
-            .find(|cl| {
-                cl.members.len() == 3
-                    && cl.members.iter().all(|f| !f.stuck)
-            })
+            .find(|cl| cl.members.len() == 3 && cl.members.iter().all(|f| !f.stuck))
             .expect("SA0 class exists");
         assert_eq!(sa0_class.members.len(), 3);
         // Buffer pin faults merge with their output faults (2 each).

@@ -35,6 +35,7 @@ mod oracle;
 mod random_tpg;
 pub mod report;
 mod scan;
+pub mod stages;
 pub mod symbolic;
 pub mod tester;
 mod three_phase;

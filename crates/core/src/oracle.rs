@@ -33,12 +33,7 @@ pub enum Verdict {
 /// Validates that `seq` detects `fault` under every interleaving, using
 /// transition bound `k` per cycle (sampling happens at the end of each
 /// cycle; oscillating machines are sampled at any attractor phase).
-pub fn validate_test(
-    ckt: &Circuit,
-    fault: &Fault,
-    seq: &TestSequence,
-    k: usize,
-) -> Verdict {
+pub fn validate_test(ckt: &Circuit, fault: &Fault, seq: &TestSequence, k: usize) -> Verdict {
     let ecfg = ExplicitConfig {
         k,
         max_states: 1 << 14,
@@ -108,7 +103,10 @@ mod tests {
             patterns: vec![0b11],
         };
         let k = 4 * ckt.num_gates() + 4;
-        assert_eq!(validate_test(&ckt, &fault, &seq, k), Verdict::Detects { at: 1 });
+        assert_eq!(
+            validate_test(&ckt, &fault, &seq, k),
+            Verdict::Detects { at: 1 }
+        );
     }
 
     #[test]
@@ -149,7 +147,11 @@ mod tests {
     fn every_three_phase_test_passes_the_oracle() {
         // End-to-end soundness: ternary-based claims survive the
         // exhaustive nondeterministic check.
-        for ckt in [library::c_element(), library::sr_latch(), library::muller_pipeline2()] {
+        for ckt in [
+            library::c_element(),
+            library::sr_latch(),
+            library::muller_pipeline2(),
+        ] {
             let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
             let k = cssg.k();
             for fault in crate::fault::input_stuck_faults(&ckt) {

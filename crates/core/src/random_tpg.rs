@@ -25,7 +25,7 @@ impl Default for RandomTpgConfig {
         RandomTpgConfig {
             max_vectors: 10,
             restart_after: 5,
-            seed: 0x5A17_97,
+            seed: 0x005A_1797,
         }
     }
 }
@@ -63,7 +63,13 @@ pub fn random_tpg(
         let mut good = cssg.initial();
         let mut seq: Vec<u64> = Vec::new();
         detect_lanes(ckt, &planes, &cssg.states()[good], lanes, &mut detected);
-        record_new(&mut result, &detected, &mut vec![false; lanes], chunk_idx, &seq);
+        record_new(
+            &mut result,
+            &detected,
+            &mut vec![false; lanes],
+            chunk_idx,
+            &seq,
+        );
 
         let mut already = detected.clone();
         let mut since_restart = 0usize;

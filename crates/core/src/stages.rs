@@ -1,0 +1,373 @@
+//! The ATPG flow decomposed into resumable stages.
+//!
+//! [`run_atpg`](crate::run_atpg) drives the full pipeline in one call,
+//! but each step is exposed here so orchestration layers (notably the
+//! fault-parallel `satpg-engine` crate) can run the same computation with
+//! injectable pieces:
+//!
+//! * [`FaultPlan`] — the deterministic collapsing of a fault list into
+//!   target classes (shared between serial and parallel drivers);
+//! * [`random_stage`] — random TPG over the open classes;
+//! * [`targeted_stage`] — the three-phase + fault-simulation loop over an
+//!   explicit **fault queue**, with the three-phase search itself
+//!   injected as an oracle callback (a parallel driver substitutes
+//!   precomputed verdicts, falling back to the real search on a miss);
+//! * [`assemble_report`] — per-fault record materialization.
+//!
+//! Because every stage is a pure function of its inputs plus the
+//! [`StageState`] it advances, a serial run and any replay of the same
+//! stages produce identical reports — the invariant the parallel engine's
+//! deterministic merge is built on.
+
+use crate::atpg::{AtpgReport, Phase};
+use crate::cssg::{Cssg, TestSequence};
+use crate::fault::{collapse_faults, Fault, FaultClass};
+use crate::fsim::fault_simulate;
+use crate::random_tpg::{random_tpg, RandomTpgConfig};
+use crate::three_phase::FaultStatus;
+use satpg_netlist::Circuit;
+use std::collections::HashMap;
+
+/// The deterministic targeting plan: fault classes plus the map from each
+/// enumerated fault back to its class.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    classes: Vec<FaultClass>,
+    class_of: HashMap<Fault, usize>,
+}
+
+impl FaultPlan {
+    /// Builds the plan.  With `collapse` off every fault is its own
+    /// class; with it on, structurally equivalent faults share one.
+    pub fn new(ckt: &Circuit, faults: &[Fault], collapse: bool) -> Self {
+        let classes = if collapse {
+            collapse_faults(ckt, faults)
+        } else {
+            faults
+                .iter()
+                .map(|&f| FaultClass {
+                    representative: f,
+                    members: vec![f],
+                })
+                .collect()
+        };
+        let mut class_of = HashMap::new();
+        for (ci, c) in classes.iter().enumerate() {
+            for &m in &c.members {
+                class_of.insert(m, ci);
+            }
+        }
+        FaultPlan { classes, class_of }
+    }
+
+    /// The target classes, in deterministic order.
+    pub fn classes(&self) -> &[FaultClass] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The class index of an enumerated fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` was not part of the planned fault list.
+    pub fn class_of(&self, f: &Fault) -> usize {
+        self.class_of[f]
+    }
+}
+
+/// Verdict of one fault class as the stages advance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClassVerdict {
+    /// Not yet resolved.
+    #[default]
+    Open,
+    /// Detected by `phase`, exposed by `StageState::tests[test]`.
+    Detected {
+        /// The attributed flow phase.
+        phase: Phase,
+        /// Index into [`StageState::tests`].
+        test: usize,
+    },
+    /// Proved untestable.
+    Untestable,
+    /// Resource limits hit.
+    Aborted,
+}
+
+/// The resumable accumulator threaded through the stages.
+#[derive(Clone, Debug, Default)]
+pub struct StageState {
+    /// Per-class verdicts, indexed like [`FaultPlan::classes`].
+    pub verdicts: Vec<ClassVerdict>,
+    /// The deduplicated test set, in discovery order.
+    pub tests: Vec<TestSequence>,
+}
+
+impl StageState {
+    /// A fresh state with every class open.
+    pub fn new(num_classes: usize) -> Self {
+        StageState {
+            verdicts: vec![ClassVerdict::Open; num_classes],
+            tests: Vec::new(),
+        }
+    }
+
+    /// Interns a test sequence, returning its stable index.
+    pub fn intern_test(&mut self, seq: TestSequence) -> usize {
+        match self.tests.iter().position(|t| *t == seq) {
+            Some(i) => i,
+            None => {
+                self.tests.push(seq);
+                self.tests.len() - 1
+            }
+        }
+    }
+
+    /// Indices of the classes still open, ascending.
+    pub fn open_classes(&self) -> Vec<usize> {
+        (0..self.verdicts.len())
+            .filter(|&ci| self.verdicts[ci] == ClassVerdict::Open)
+            .collect()
+    }
+}
+
+/// Stage 1: random TPG over the class representatives.  Classes whose
+/// representative is detected get a [`Phase::Random`] verdict.
+pub fn random_stage(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    plan: &FaultPlan,
+    cfg: &RandomTpgConfig,
+    state: &mut StageState,
+) {
+    let reps: Vec<Fault> = plan.classes.iter().map(|c| c.representative).collect();
+    let res = random_tpg(ckt, cssg, &reps, cfg);
+    for (ci, seq) in res.detected {
+        if state.verdicts[ci] == ClassVerdict::Open {
+            let ti = state.intern_test(seq);
+            state.verdicts[ci] = ClassVerdict::Detected {
+                phase: Phase::Random,
+                test: ti,
+            };
+        }
+    }
+}
+
+/// Stage 2: the targeted loop.  Walks `queue` (class indices); for each
+/// class still open it asks `oracle` for the three-phase verdict, and on
+/// detection optionally fault-simulates the new test against every other
+/// open class (harvesting [`Phase::FaultSim`] credits).
+///
+/// The serial driver passes `0..plan.len()` as the queue and the real
+/// [`three_phase`](crate::three_phase) as the oracle; a parallel driver
+/// may substitute any precomputed, order-independent verdict source.
+/// Given the same queue and an oracle that is a pure function of the
+/// class, the resulting state is identical regardless of where the
+/// verdicts were computed.
+pub fn targeted_stage(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    plan: &FaultPlan,
+    fault_sim: bool,
+    queue: &[usize],
+    state: &mut StageState,
+    oracle: &mut dyn FnMut(usize, &Fault) -> FaultStatus,
+) {
+    for &ci in queue {
+        if state.verdicts[ci] != ClassVerdict::Open {
+            continue;
+        }
+        match oracle(ci, &plan.classes[ci].representative) {
+            FaultStatus::Detected { sequence } => {
+                let ti = state.intern_test(sequence.clone());
+                state.verdicts[ci] = ClassVerdict::Detected {
+                    phase: Phase::ThreePhase,
+                    test: ti,
+                };
+                if fault_sim {
+                    let open = state.open_classes();
+                    let open_faults: Vec<Fault> = open
+                        .iter()
+                        .map(|&cj| plan.classes[cj].representative)
+                        .collect();
+                    for hit in fault_simulate(ckt, cssg, &sequence, &open_faults) {
+                        state.verdicts[open[hit]] = ClassVerdict::Detected {
+                            phase: Phase::FaultSim,
+                            test: ti,
+                        };
+                    }
+                }
+            }
+            FaultStatus::Untestable(_) => state.verdicts[ci] = ClassVerdict::Untestable,
+            FaultStatus::Aborted => state.verdicts[ci] = ClassVerdict::Aborted,
+        }
+    }
+}
+
+/// Wall-clock attribution carried into the report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Microseconds: CSSG construction.
+    pub us_cssg: u128,
+    /// Microseconds: random TPG.
+    pub us_random: u128,
+    /// Microseconds: targeted search + fault simulation.
+    pub us_three_phase: u128,
+}
+
+/// Final stage: materializes per-fault records from the class verdicts.
+pub fn assemble_report(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    faults: &[Fault],
+    plan: &FaultPlan,
+    state: StageState,
+    timings: StageTimings,
+) -> AtpgReport {
+    let records = faults
+        .iter()
+        .map(|f| {
+            let ci = plan.class_of(f);
+            match state.verdicts[ci] {
+                ClassVerdict::Detected { phase, test } => crate::atpg::FaultRecord {
+                    fault: *f,
+                    detected_by: Some(phase),
+                    test: Some(test),
+                    untestable: false,
+                    aborted: false,
+                },
+                ClassVerdict::Untestable => crate::atpg::FaultRecord {
+                    fault: *f,
+                    detected_by: None,
+                    test: None,
+                    untestable: true,
+                    aborted: false,
+                },
+                ClassVerdict::Aborted => crate::atpg::FaultRecord {
+                    fault: *f,
+                    detected_by: None,
+                    test: None,
+                    untestable: false,
+                    aborted: true,
+                },
+                ClassVerdict::Open => crate::atpg::FaultRecord {
+                    fault: *f,
+                    detected_by: None,
+                    test: None,
+                    untestable: false,
+                    aborted: false,
+                },
+            }
+        })
+        .collect();
+
+    AtpgReport {
+        circuit: ckt.name().to_string(),
+        cssg_states: cssg.num_states(),
+        cssg_edges: cssg.num_edges(),
+        records,
+        tests: state.tests,
+        us_cssg: timings.us_cssg,
+        us_random: timings.us_random,
+        us_three_phase: timings.us_three_phase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit_cssg::{build_cssg, CssgConfig};
+    use crate::fault::input_stuck_faults;
+    use crate::three_phase::{three_phase, ThreePhaseConfig};
+    use satpg_netlist::library;
+
+    #[test]
+    fn stages_reproduce_run_atpg() {
+        for ckt in [library::c_element(), library::muller_pipeline2()] {
+            let cfg = crate::AtpgConfig::paper();
+            let direct = crate::run_atpg(&ckt, &cfg).unwrap();
+
+            let cssg = build_cssg(&ckt, &cfg.cssg).unwrap();
+            let faults = input_stuck_faults(&ckt);
+            let plan = FaultPlan::new(&ckt, &faults, cfg.collapse);
+            let mut state = StageState::new(plan.len());
+            random_stage(&ckt, &cssg, &plan, &cfg.random.unwrap(), &mut state);
+            let queue: Vec<usize> = (0..plan.len()).collect();
+            targeted_stage(
+                &ckt,
+                &cssg,
+                &plan,
+                cfg.fault_sim,
+                &queue,
+                &mut state,
+                &mut |_, f| three_phase(&ckt, &cssg, f, &cfg.three_phase),
+            );
+            let staged =
+                assemble_report(&ckt, &cssg, &faults, &plan, state, StageTimings::default());
+
+            assert_eq!(direct.records, staged.records, "{}", ckt.name());
+            assert_eq!(direct.tests, staged.tests, "{}", ckt.name());
+        }
+    }
+
+    #[test]
+    fn queue_order_with_pure_oracle_is_order_independent_on_outcome_source() {
+        // Precomputing every verdict up front, then replaying in serial
+        // order, must equal computing lazily — the engine's merge model.
+        let ckt = library::muller_pipeline2();
+        let cfg = ThreePhaseConfig::default();
+        let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
+        let faults = input_stuck_faults(&ckt);
+        let plan = FaultPlan::new(&ckt, &faults, false);
+        let queue: Vec<usize> = (0..plan.len()).collect();
+
+        let mut lazy = StageState::new(plan.len());
+        targeted_stage(&ckt, &cssg, &plan, true, &queue, &mut lazy, &mut |_, f| {
+            three_phase(&ckt, &cssg, f, &cfg)
+        });
+
+        let precomputed: Vec<FaultStatus> = plan
+            .classes()
+            .iter()
+            .map(|c| three_phase(&ckt, &cssg, &c.representative, &cfg))
+            .collect();
+        let mut replay = StageState::new(plan.len());
+        targeted_stage(
+            &ckt,
+            &cssg,
+            &plan,
+            true,
+            &queue,
+            &mut replay,
+            &mut |ci, _| precomputed[ci].clone(),
+        );
+
+        assert_eq!(lazy.verdicts, replay.verdicts);
+        assert_eq!(lazy.tests, replay.tests);
+    }
+
+    #[test]
+    fn fault_plan_collapsing_partitions() {
+        let ckt = library::c_element();
+        let faults = input_stuck_faults(&ckt);
+        let collapsed = FaultPlan::new(&ckt, &faults, true);
+        let plain = FaultPlan::new(&ckt, &faults, false);
+        assert_eq!(plain.len(), faults.len());
+        assert!(collapsed.len() <= plain.len());
+        for f in &faults {
+            assert!(collapsed.class_of(f) < collapsed.len());
+        }
+        let member_total: usize = collapsed.classes().iter().map(|c| c.members.len()).sum();
+        assert_eq!(member_total, faults.len());
+    }
+}

@@ -83,12 +83,8 @@ impl SymbolicCssg {
             .collect();
         let out = self.var(ckt.gate_output(g).index(), X);
         let m = &mut self.mgr;
-        let fold_and = |m: &mut Manager, xs: &[Bdd]| {
-            xs.iter().fold(Bdd::TRUE, |a, &b| m.and(a, b))
-        };
-        let fold_or = |m: &mut Manager, xs: &[Bdd]| {
-            xs.iter().fold(Bdd::FALSE, |a, &b| m.or(a, b))
-        };
+        let fold_and = |m: &mut Manager, xs: &[Bdd]| xs.iter().fold(Bdd::TRUE, |a, &b| m.and(a, b));
+        let fold_or = |m: &mut Manager, xs: &[Bdd]| xs.iter().fold(Bdd::FALSE, |a, &b| m.or(a, b));
         match &gate.kind {
             GateKind::Input | GateKind::Buf => pins[0],
             GateKind::Not => m.not(pins[0]),
@@ -168,14 +164,14 @@ impl SymbolicCssg {
         // R_δ(x,y): stable self-loop or one excited gate switches.
         let same_all = self.same(0..nbits, X, Y);
         let mut r_delta = self.mgr.and(stable, same_all);
-        for gi in 0..ckt.num_gates() {
+        for (gi, &exc) in excited.iter().enumerate() {
             let g = GateId(gi as u32);
             let out_bit = ckt.gate_output(g).index();
             let same_rest = self.same((0..nbits).filter(|&i| i != out_bit), X, Y);
             let xo = self.var(out_bit, X);
             let yo = self.var(out_bit, Y);
             let flip = self.mgr.xor(xo, yo);
-            let t = self.mgr.and(excited[gi], flip);
+            let t = self.mgr.and(exc, flip);
             let t = self.mgr.and(t, same_rest);
             r_delta = self.mgr.or(r_delta, t);
         }
@@ -247,7 +243,9 @@ impl SymbolicCssg {
         let mut work = vec![root];
         while let Some(si) = work.pop() {
             let from = cssg.states()[si].clone();
-            let Some(tos) = edges.get(&from) else { continue };
+            let Some(tos) = edges.get(&from) else {
+                continue;
+            };
             for to in tos.clone() {
                 let pattern = ckt.input_pattern(&to);
                 let known = cssg.state_index(&to).is_some();
@@ -293,9 +291,9 @@ mod tests {
         // Edge-by-edge comparison through the state bit-vectors.
         for si in 0..explicit.num_states() {
             let state = &explicit.states()[si];
-            let sj = symbolic.state_index(state).unwrap_or_else(|| {
-                panic!("{}: state {state} missing symbolically", ckt.name())
-            });
+            let sj = symbolic
+                .state_index(state)
+                .unwrap_or_else(|| panic!("{}: state {state} missing symbolically", ckt.name()));
             let ee: Vec<(u64, Bits)> = explicit
                 .edges(si)
                 .iter()

@@ -92,7 +92,12 @@ impl fmt::Display for TestProgram {
         writeln!(f, "# synchronous test program for `{}`", self.circuit)?;
         writeln!(f, "# inputs:  {}", self.input_names.join(" "))?;
         writeln!(f, "# outputs: {}", self.output_names.join(" "))?;
-        writeln!(f, "# {} blocks, {} cycles", self.blocks.len(), self.num_cycles())?;
+        writeln!(
+            f,
+            "# {} blocks, {} cycles",
+            self.blocks.len(),
+            self.num_cycles()
+        )?;
         for (label, cycles) in &self.blocks {
             writeln!(f, "reset                  # {label}")?;
             for c in cycles {

@@ -95,8 +95,13 @@ pub fn three_phase(
 
     // --- Phases 2+3: product BFS (justification + differentiation). ---
     let s0 = &cssg.states()[cssg.initial()];
-    let Some(f0) = settle_set(ckt, &BTreeSet::from([s0.clone()]), ckt.input_pattern(s0), &inj, &ecfg)
-    else {
+    let Some(f0) = settle_set(
+        ckt,
+        &BTreeSet::from([s0.clone()]),
+        ckt.input_pattern(s0),
+        &inj,
+        &ecfg,
+    ) else {
         return FaultStatus::Aborted;
     };
     if guaranteed_mismatch(ckt, s0, &f0) {
@@ -258,7 +263,10 @@ mod tests {
             FaultStatus::Untestable(UntestableReason::NoDistinguishingSequence)
         );
         // …while z/SA1 is excited everywhere and immediately observable.
-        let sa1 = Fault { stuck: true, ..fault };
+        let sa1 = Fault {
+            stuck: true,
+            ..fault
+        };
         assert!(matches!(
             three_phase(&ckt, &cssg, &sa1, &ThreePhaseConfig::default()),
             FaultStatus::Detected { .. }
@@ -271,7 +279,7 @@ mod tests {
         // states.  x = r·ā is 0 in every stable state, yet x/SA0 is
         // testable because without the pulse the handshake output a never
         // rises.
-        use satpg_netlist::{Cube, CircuitBuilder, GateKind, Literal, Sop};
+        use satpg_netlist::{CircuitBuilder, Cube, GateKind, Literal, Sop};
         let mut b = CircuitBuilder::new("pulse");
         let r = b.input("R", "r");
         let a_fb = b.signal("a");
@@ -321,7 +329,7 @@ mod tests {
     fn pi_stuck_detected_through_exact_settling() {
         // PI r stuck-at-1 on a pulse circuit defeats ternary simulation
         // (binate feedback) but the exact set semantics finds the test.
-        use satpg_netlist::{Cube, CircuitBuilder, GateKind, Literal, Sop};
+        use satpg_netlist::{CircuitBuilder, Cube, GateKind, Literal, Sop};
         let mut b = CircuitBuilder::new("pulse2");
         let r = b.input("R", "r");
         let a_fb = b.signal("a");
@@ -365,7 +373,7 @@ mod tests {
     fn redundant_fault_proved_untestable() {
         // y = a·b + a·b̄ (redundant cover of y = a): the b pins are
         // untestable at the outputs.
-        use satpg_netlist::{Cube, CircuitBuilder, GateKind, Literal, Sop};
+        use satpg_netlist::{CircuitBuilder, Cube, GateKind, Literal, Sop};
         let mut b = CircuitBuilder::new("red");
         let a = b.input("A", "a");
         let bb = b.input("B", "b");

@@ -1,0 +1,407 @@
+//! The engine driver: shard → search in parallel → deterministic merge.
+
+use crate::audit::WalkAuditor;
+use crate::shard::{Popped, ShardedQueues};
+use satpg_core::stages::{random_stage, targeted_stage, FaultPlan, StageState};
+use satpg_core::{
+    build_cssg, input_stuck_faults, output_stuck_faults, three_phase, AtpgConfig, AtpgReport,
+    CoreError, Cssg, Fault, FaultModel, FaultStatus, TestSequence,
+};
+use satpg_netlist::Circuit;
+use std::sync::{OnceLock, RwLock};
+use std::time::Instant;
+
+/// Configuration of a fault-parallel campaign.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The underlying flow configuration (shared with the serial driver,
+    /// so reports are comparable).
+    pub atpg: AtpgConfig,
+    /// Number of workers.  `0` means one per available CPU.
+    pub workers: usize,
+    /// Broadcast discovered tests so other workers can drop covered
+    /// pending faults early.
+    pub broadcast: bool,
+    /// Symbolically audit every discovered test on the worker's private
+    /// BDD manager.
+    pub symbolic_audit: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            atpg: AtpgConfig::default(),
+            workers: 0,
+            broadcast: true,
+            symbolic_audit: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper-table flow configuration under the parallel driver.
+    pub fn paper() -> Self {
+        EngineConfig {
+            atpg: AtpgConfig::paper(),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn effective_workers(&self, pending: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, pending.max(1))
+    }
+}
+
+/// Telemetry of one worker.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Classes whose three-phase search this worker ran.
+    pub searched: usize,
+    /// How many of those were stolen from other workers' deques.
+    pub stolen: usize,
+    /// Tests this worker discovered (and broadcast).
+    pub tests_found: usize,
+    /// Pending classes dropped after fault-simulating broadcast tests.
+    pub broadcast_drops: usize,
+    /// Discovered tests that failed the symbolic audit (always 0 unless
+    /// the explicit search and the BDD relation disagree — a bug).
+    pub audit_failures: usize,
+    /// Live BDD nodes in the worker's private manager at exit.
+    pub bdd_nodes: usize,
+    /// Operation-cache entries in the private manager at exit.
+    pub bdd_cache: usize,
+    /// Times the bounded-cache heuristic cleared the cache.
+    pub bdd_cache_clears: usize,
+    /// Wall-clock microseconds the worker was busy.
+    pub us_busy: u128,
+}
+
+/// The campaign result: a serial-identical report plus parallel telemetry.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Fault records and tests, byte-for-byte identical to the serial
+    /// [`satpg_core::run_atpg`] report for the same `AtpgConfig`
+    /// (timing fields excepted — they measure this run).
+    pub report: AtpgReport,
+    /// Per-worker telemetry, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Classes resolved during the parallel phase.
+    pub parallel_verdicts: usize,
+    /// Classes the merge had to re-search serially because a broadcast
+    /// drop skipped them (bounded by the drops; usually far smaller).
+    pub merge_fallbacks: usize,
+    /// Wall-clock microseconds of the parallel phase.
+    pub us_parallel: u128,
+    /// Wall-clock microseconds of the deterministic merge.
+    pub us_merge: u128,
+}
+
+/// Runs the fault-parallel campaign on `ckt`.
+///
+/// # Errors
+///
+/// Same conditions as [`satpg_core::run_atpg`]: CSSG construction
+/// failures or an abstraction with no valid vectors.
+pub fn run_engine(ckt: &Circuit, cfg: &EngineConfig) -> Result<EngineReport, CoreError> {
+    let t0 = Instant::now();
+    let cssg = build_cssg(ckt, &cfg.atpg.cssg)?;
+    let us_cssg = t0.elapsed().as_micros();
+    if cssg.num_edges() == 0 {
+        return Err(CoreError::NoValidVectors);
+    }
+    let faults = match cfg.atpg.fault_model {
+        FaultModel::InputStuckAt => input_stuck_faults(ckt),
+        FaultModel::OutputStuckAt => output_stuck_faults(ckt),
+    };
+    Ok(run_engine_on(ckt, &cssg, &faults, cfg, us_cssg))
+}
+
+/// Runs the campaign against an explicit fault list and prebuilt CSSG
+/// (the injectable-queue entry point).
+pub fn run_engine_on(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    faults: &[Fault],
+    cfg: &EngineConfig,
+    us_cssg: u128,
+) -> EngineReport {
+    let plan = FaultPlan::new(ckt, faults, cfg.atpg.collapse);
+    let mut state = StageState::new(plan.len());
+
+    // --- Stage 1: random TPG (serial; it is cheap, deterministic and
+    // sets the shared baseline both drivers start the targeted loop from).
+    let t1 = Instant::now();
+    if let Some(rnd_cfg) = &cfg.atpg.random {
+        random_stage(ckt, cssg, &plan, rnd_cfg, &mut state);
+    }
+    let us_random = t1.elapsed().as_micros();
+
+    // --- Stage 2 (parallel): precompute three-phase verdicts. ---
+    let pending = state.open_classes();
+    let workers = cfg.effective_workers(pending.len());
+    let queues = ShardedQueues::new(workers, &pending);
+    let outcomes: Vec<OnceLock<FaultStatus>> = (0..plan.len()).map(|_| OnceLock::new()).collect();
+    let broadcasts: RwLock<Vec<(usize, TestSequence)>> = RwLock::new(Vec::new());
+
+    let t2 = Instant::now();
+    let worker_stats: Vec<WorkerStats> = if pending.is_empty() {
+        Vec::new()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let outcomes = &outcomes;
+                    let broadcasts = &broadcasts;
+                    let plan = &plan;
+                    scope.spawn(move || {
+                        worker_loop(ckt, cssg, plan, cfg, w, queues, outcomes, broadcasts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+    let us_parallel = t2.elapsed().as_micros();
+    let parallel_verdicts = outcomes.iter().filter(|o| o.get().is_some()).count();
+
+    // --- Stage 3: deterministic merge.  Replay the exact serial control
+    // flow, consuming precomputed verdicts; a class skipped by a
+    // broadcast drop but reached open here is recomputed on the spot.
+    let t3 = Instant::now();
+    let mut merge_fallbacks = 0usize;
+    let queue: Vec<usize> = (0..plan.len()).collect();
+    targeted_stage(
+        ckt,
+        cssg,
+        &plan,
+        cfg.atpg.fault_sim,
+        &queue,
+        &mut state,
+        &mut |ci, f| match outcomes[ci].get() {
+            Some(v) => v.clone(),
+            None => {
+                merge_fallbacks += 1;
+                three_phase(ckt, cssg, f, &cfg.atpg.three_phase)
+            }
+        },
+    );
+    let us_merge = t3.elapsed().as_micros();
+
+    let report = satpg_core::stages::assemble_report(
+        ckt,
+        cssg,
+        faults,
+        &plan,
+        state,
+        satpg_core::stages::StageTimings {
+            us_cssg,
+            us_random,
+            us_three_phase: us_parallel + us_merge,
+        },
+    );
+    EngineReport {
+        report,
+        workers: worker_stats,
+        parallel_verdicts,
+        merge_fallbacks,
+        us_parallel,
+        us_merge,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    plan: &FaultPlan,
+    cfg: &EngineConfig,
+    w: usize,
+    queues: &ShardedQueues,
+    outcomes: &[OnceLock<FaultStatus>],
+    broadcasts: &RwLock<Vec<(usize, TestSequence)>>,
+) -> WorkerStats {
+    let t0 = Instant::now();
+    let mut stats = WorkerStats {
+        worker: w,
+        ..WorkerStats::default()
+    };
+    let mut auditor = cfg.symbolic_audit.then(|| WalkAuditor::new(cssg));
+    let mut seen_broadcasts = 0usize;
+    // Broadcasting only pays off when the merge can harvest the skipped
+    // classes as fault-sim credits; with fault_sim off every drop would
+    // serialize a recomputation instead.
+    let broadcast = cfg.broadcast && cfg.atpg.fault_sim;
+
+    while let Some(popped) = queues.pop(w) {
+        // Screen the backlog against tests found elsewhere since the
+        // last check.  Only classes *after* the broadcaster in serial
+        // order are dropped: those are the ones the serial flow would
+        // also have resolved by fault simulation, so the merge will not
+        // need to re-search them.
+        if broadcast {
+            let log = broadcasts.read().expect("broadcast lock");
+            let fresh: Vec<(usize, TestSequence)> = log[seen_broadcasts..].to_vec();
+            seen_broadcasts = log.len();
+            drop(log);
+            for (ca, test) in fresh {
+                stats.broadcast_drops += queues.drop_pending(w, |backlog| {
+                    let candidates: Vec<usize> =
+                        backlog.iter().copied().filter(|&cb| cb > ca).collect();
+                    let cand_faults: Vec<Fault> = candidates
+                        .iter()
+                        .map(|&cb| plan.classes()[cb].representative)
+                        .collect();
+                    satpg_core::fault_simulate(ckt, cssg, &test, &cand_faults)
+                        .into_iter()
+                        .map(|hit| candidates[hit])
+                        .collect()
+                });
+            }
+        }
+
+        let ci = popped.item();
+        if matches!(popped, Popped::Stolen { .. }) {
+            stats.stolen += 1;
+        }
+        let fault = plan.classes()[ci].representative;
+        let verdict = three_phase(ckt, cssg, &fault, &cfg.atpg.three_phase);
+        stats.searched += 1;
+        if let FaultStatus::Detected { sequence } = &verdict {
+            stats.tests_found += 1;
+            if let Some(aud) = auditor.as_mut() {
+                if !aud.check(sequence) {
+                    stats.audit_failures += 1;
+                }
+            }
+            if broadcast {
+                broadcasts
+                    .write()
+                    .expect("broadcast lock")
+                    .push((ci, sequence.clone()));
+            }
+        }
+        // First write wins; each class is processed at most once anyway.
+        let _ = outcomes[ci].set(verdict);
+    }
+
+    if let Some(aud) = auditor {
+        stats.bdd_nodes = aud.num_nodes();
+        stats.bdd_cache = aud.cache_len();
+        stats.bdd_cache_clears = aud.cache_clears;
+    }
+    stats.us_busy = t0.elapsed().as_micros();
+    stats
+}
+
+/// Convenience: checks whether an engine report is verdict-identical to a
+/// serial report (everything except wall-clock fields).
+pub fn reports_identical(a: &AtpgReport, b: &AtpgReport) -> bool {
+    a.circuit == b.circuit
+        && a.cssg_states == b.cssg_states
+        && a.cssg_edges == b.cssg_edges
+        && a.records == b.records
+        && a.tests == b.tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satpg_core::run_atpg;
+    use satpg_netlist::library;
+
+    #[test]
+    fn identical_to_serial_on_library_circuits() {
+        for ckt in library::all() {
+            let serial = run_atpg(&ckt, &AtpgConfig::paper());
+            for workers in 1..=4 {
+                let cfg = EngineConfig {
+                    workers,
+                    ..EngineConfig::paper()
+                };
+                let parallel = run_engine(&ckt, &cfg);
+                match (&serial, &parallel) {
+                    (Ok(s), Ok(p)) => {
+                        assert!(
+                            reports_identical(&p.report, s),
+                            "{} with {workers} workers",
+                            ckt.name()
+                        );
+                        assert_eq!(p.workers.iter().map(|w| w.audit_failures).sum::<usize>(), 0);
+                    }
+                    (Err(_), Err(_)) => {} // e.g. figure1b has no valid vectors
+                    (s, p) => panic!("{}: serial {s:?} vs parallel {p:?}", ckt.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_off_still_identical() {
+        let ckt = library::muller_pipeline2();
+        let serial = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        let cfg = EngineConfig {
+            workers: 3,
+            broadcast: false,
+            symbolic_audit: false,
+            ..EngineConfig::paper()
+        };
+        let out = run_engine(&ckt, &cfg).unwrap();
+        assert!(reports_identical(&out.report, &serial));
+        assert_eq!(out.merge_fallbacks, 0, "no drops, no fallbacks");
+    }
+
+    #[test]
+    fn worker_telemetry_accounts_for_all_searches() {
+        let ckt = library::muller_pipeline2();
+        let cfg = EngineConfig {
+            workers: 2,
+            broadcast: false,
+            ..EngineConfig::paper()
+        };
+        let out = run_engine(&ckt, &cfg).unwrap();
+        let searched: usize = out.workers.iter().map(|w| w.searched).sum();
+        assert_eq!(searched, out.parallel_verdicts);
+        for w in &out.workers {
+            assert!(w.bdd_nodes >= 2, "auditor built a relation");
+        }
+    }
+
+    #[test]
+    fn collapse_and_output_model_pass_through() {
+        let ckt = library::c_element();
+        for (collapse, model) in [
+            (true, FaultModel::InputStuckAt),
+            (false, FaultModel::OutputStuckAt),
+        ] {
+            let atpg = AtpgConfig {
+                collapse,
+                fault_model: model,
+                ..AtpgConfig::paper()
+            };
+            let serial = run_atpg(&ckt, &atpg).unwrap();
+            let out = run_engine(
+                &ckt,
+                &EngineConfig {
+                    atpg,
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(reports_identical(&out.report, &serial));
+        }
+    }
+}

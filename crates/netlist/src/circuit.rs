@@ -151,8 +151,9 @@ impl Circuit {
     pub fn eval_gate(&self, g: GateId, state: &Bits) -> bool {
         let gate = &self.gates[g.index()];
         let out = state.get(self.gate_output(g).index());
-        gate.kind
-            .eval(out, gate.inputs.len(), |p| state.get(gate.inputs[p].index()))
+        gate.kind.eval(out, gate.inputs.len(), |p| {
+            state.get(gate.inputs[p].index())
+        })
     }
 
     /// Whether gate `g` is excited (output differs from its function).
@@ -287,7 +288,11 @@ impl CircuitBuilder {
     /// Declares a primary input: `env_name` is the environment pin,
     /// `buf_name` the output of its identity buffer (the signal the logic
     /// reads).  Returns the buffered signal.
-    pub fn input(&mut self, env_name: impl Into<String>, buf_name: impl Into<String>) -> PendingSignal {
+    pub fn input(
+        &mut self,
+        env_name: impl Into<String>,
+        buf_name: impl Into<String>,
+    ) -> PendingSignal {
         let buf = buf_name.into();
         self.input_names.push(env_name.into());
         self.buffer_names.push(buf.clone());
@@ -346,8 +351,8 @@ impl CircuitBuilder {
         let mut signal_names: Vec<String> = Vec::new();
         let mut name_index: HashMap<String, SignalId> = HashMap::new();
         let declare = |names: &mut Vec<String>,
-                           idx: &mut HashMap<String, SignalId>,
-                           n: &str|
+                       idx: &mut HashMap<String, SignalId>,
+                       n: &str|
          -> Result<SignalId> {
             if idx.contains_key(n) {
                 return Err(NetlistError::DuplicateSignal(n.to_string()));
@@ -639,7 +644,9 @@ mod tests {
     #[test]
     fn state_of_and_names() {
         let c = c_element();
-        let s = c.state_of(&[("A", true), ("a", true), ("y", false)]).unwrap();
+        let s = c
+            .state_of(&[("A", true), ("a", true), ("y", false)])
+            .unwrap();
         assert!(s.get(0) && s.get(2) && !s.get(4));
         assert!(c.state_of(&[("nope", true)]).is_err());
     }

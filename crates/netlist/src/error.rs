@@ -63,7 +63,11 @@ impl fmt::Display for NetlistError {
         match self {
             NetlistError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
             NetlistError::DuplicateSignal(s) => write!(f, "duplicate signal `{s}`"),
-            NetlistError::BadArity { gate, expected, got } => {
+            NetlistError::BadArity {
+                gate,
+                expected,
+                got,
+            } => {
                 write!(f, "gate `{gate}` expects {expected} inputs, got {got}")
             }
             NetlistError::EnvPinRead { gate } => write!(
@@ -80,10 +84,16 @@ impl fmt::Display for NetlistError {
                 write!(f, "initial state has {got} bits, circuit has {expected}")
             }
             NetlistError::BadSopPin { gate, pin } => {
-                write!(f, "gate `{gate}` SOP references pin {pin} outside its input list")
+                write!(
+                    f,
+                    "gate `{gate}` SOP references pin {pin} outside its input list"
+                )
             }
             NetlistError::TooManyInputs(n) => {
-                write!(f, "circuit has {n} primary inputs; at most 64 are supported")
+                write!(
+                    f,
+                    "circuit has {n} primary inputs; at most 64 are supported"
+                )
             }
             NetlistError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
         }

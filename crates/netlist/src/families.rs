@@ -1,0 +1,167 @@
+//! Parameterized gate-level benchmark families.
+//!
+//! Complementing the fixed [`crate::library`] circuits, these generators
+//! produce arbitrarily sized netlists directly at the gate level (no
+//! specification pass, so no synthesis size bounds apply):
+//!
+//! * [`muller_pipeline`] — the classic speed-independent control kernel
+//!   of [`crate::library::muller_pipeline2`] generalized to depth `d`;
+//! * [`arbiter_tree`] — a C-element reduction tree over `w` request
+//!   lines (a synchronizer/join tree of width `w`).
+
+use crate::circuit::{Circuit, CircuitBuilder, PendingSignal};
+use crate::gate::GateKind;
+
+/// A `depth`-stage Muller pipeline: request in `R`, acknowledge in
+/// `Ack`, C-elements `c1..cd` cross-coupled with inverters.  Stage `i`
+/// fires when its predecessor has data (`c(i-1)`, or `R` for stage 1)
+/// and its successor is empty (`!c(i+1)`, or `!Ack` for the last stage).
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn muller_pipeline(depth: usize) -> Circuit {
+    assert!(depth > 0, "pipeline needs at least one stage");
+    let mut b = CircuitBuilder::new(format!("muller_pipe{depth}"));
+    let r = b.input("R", "r");
+    let ack = b.input("Ack", "ack");
+    for i in 1..=depth {
+        // Inverter watching the next stage (the environment for the last).
+        let watched = if i == depth {
+            ack.clone()
+        } else {
+            b.signal(format!("c{}", i + 1))
+        };
+        let n = b.gate(format!("n{i}"), GateKind::Not, vec![watched]);
+        let prev = if i == 1 {
+            r.clone()
+        } else {
+            b.signal(format!("c{}", i - 1))
+        };
+        let c = b.gate(format!("c{i}"), GateKind::C, vec![prev, n]);
+        b.output(c);
+        b.init(format!("n{i}"), true);
+    }
+    b.finish().expect("generated pipeline is well-formed")
+}
+
+/// A width-`w` arbiter/synchronizer tree: `w` request inputs reduced by
+/// a binary tree of C-elements; the root output `ack` rises only when
+/// every request is high and falls only when every request is low.
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `width > 62` (the CSSG abstraction bounds
+/// primary inputs at 63).
+pub fn arbiter_tree(width: usize) -> Circuit {
+    assert!((2..=62).contains(&width), "arbiter width in 2..=62");
+    let mut b = CircuitBuilder::new(format!("arbiter{width}"));
+    let mut frontier: Vec<PendingSignal> = (0..width)
+        .map(|i| b.input(format!("R{i}"), format!("r{i}")))
+        .collect();
+    let mut level = 0usize;
+    while frontier.len() > 1 {
+        level += 1;
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        let mut it = frontier.into_iter();
+        let mut idx = 0usize;
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(c) => {
+                    let name = format!("j{level}_{idx}");
+                    next.push(b.gate(name, GateKind::C, vec![a, c]));
+                    idx += 1;
+                }
+                None => next.push(a), // odd node promotes unchanged
+            }
+        }
+        frontier = next;
+    }
+    let root = frontier.pop().expect("non-empty reduction");
+    let ack = b.gate("ack", GateKind::Buf, vec![root]);
+    b.output(ack);
+    b.finish().expect("generated arbiter is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::GateId;
+
+    fn settle(c: &Circuit, mut s: crate::Bits, pattern: u64) -> crate::Bits {
+        s = c.with_inputs(&s, pattern);
+        for _ in 0..4 * c.num_gates() + 4 {
+            match c.excited_gates(&s).first() {
+                Some(&g) => s = c.step_gate(g, &s),
+                None => break,
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pipelines_scale_and_reset_stable() {
+        for d in 1..=8 {
+            let c = muller_pipeline(d);
+            assert_eq!(c.num_inputs(), 2);
+            assert_eq!(c.num_gates(), 2 + 2 * d);
+            assert!(c.is_stable(c.initial_state()), "depth {d}");
+        }
+    }
+
+    #[test]
+    fn depth2_matches_the_library_kernel() {
+        let gen = muller_pipeline(2);
+        let lib = crate::library::muller_pipeline2();
+        assert_eq!(gen.num_gates(), lib.num_gates());
+        assert_eq!(gen.outputs().len(), lib.outputs().len());
+        // Same behaviour on a request: c1 rises, c2 follows.
+        let s = settle(&gen, gen.initial_state().clone(), 0b01);
+        assert!(gen.is_stable(&s));
+        assert_eq!(gen.output_values(&s), 0b11);
+    }
+
+    #[test]
+    fn request_ripples_down_any_depth() {
+        for d in [1, 3, 5] {
+            let c = muller_pipeline(d);
+            let s = settle(&c, c.initial_state().clone(), 0b01);
+            assert!(c.is_stable(&s), "depth {d}");
+            assert_eq!(
+                c.output_values(&s),
+                (1 << d) - 1,
+                "depth {d}: all stages latch the token"
+            );
+        }
+    }
+
+    #[test]
+    fn arbiter_tree_is_an_n_way_c_element() {
+        for w in [2, 3, 5, 8] {
+            let c = arbiter_tree(w);
+            assert!(c.is_stable(c.initial_state()), "width {w}");
+            let all = (1u64 << w) - 1;
+            let up = settle(&c, c.initial_state().clone(), all);
+            assert!(c.is_stable(&up));
+            assert_eq!(c.output_values(&up), 1, "width {w}: all requests grant");
+            // Dropping one request holds the grant (C-element memory).
+            let hold = settle(&c, up.clone(), all & !1);
+            assert_eq!(c.output_values(&hold), 1, "width {w}: grant held");
+            // Dropping all releases it.
+            let down = settle(&c, hold, 0);
+            assert_eq!(c.output_values(&down), 0, "width {w}: grant released");
+        }
+    }
+
+    #[test]
+    fn generated_names_resolve() {
+        let c = arbiter_tree(4);
+        assert!(c.signal_by_name("ack").is_some());
+        assert!(c.signal_by_name("j1_0").is_some());
+        let c = muller_pipeline(3);
+        for name in ["c1", "c2", "c3", "n1"] {
+            assert!(c.signal_by_name(name).is_some(), "{name}");
+        }
+        let _ = GateId(0);
+    }
+}

@@ -17,12 +17,18 @@ pub struct Literal {
 impl Literal {
     /// Positive literal on pin `pin`.
     pub fn pos(pin: usize) -> Self {
-        Literal { pin, positive: true }
+        Literal {
+            pin,
+            positive: true,
+        }
     }
 
     /// Negative literal on pin `pin`.
     pub fn neg(pin: usize) -> Self {
-        Literal { pin, positive: false }
+        Literal {
+            pin,
+            positive: false,
+        }
     }
 }
 

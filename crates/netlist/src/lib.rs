@@ -33,6 +33,7 @@ mod bits;
 mod circuit;
 mod dot;
 mod error;
+pub mod families;
 mod gate;
 pub mod library;
 mod parser;

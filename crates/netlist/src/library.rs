@@ -115,7 +115,11 @@ mod tests {
     #[test]
     fn all_initial_states_stable() {
         for c in all() {
-            assert!(c.is_stable(c.initial_state()), "{} unstable reset", c.name());
+            assert!(
+                c.is_stable(c.initial_state()),
+                "{} unstable reset",
+                c.name()
+            );
         }
     }
 
@@ -134,7 +138,7 @@ mod tests {
     fn figure1a_race_has_two_outcomes() {
         let c = figure1a();
         let s = c.with_inputs(c.initial_state(), 0b01); // A=1, B=0
-        // Outcome 1: c wins the race (a↑, c↑, y↑ before b↓).
+                                                        // Outcome 1: c wins the race (a↑, c↑, y↑ before b↓).
         let by_name = |n: &str| c.driver(c.signal_by_name(n).unwrap()).unwrap();
         let fast = [by_name("a"), by_name("c"), by_name("y")]
             .iter()
@@ -163,7 +167,7 @@ mod tests {
     fn figure1b_oscillates() {
         let c = figure1b();
         let s = c.with_inputs(c.initial_state(), 0b01); // A=1
-        // Switch the input buffer, then the c/d loop never stabilizes.
+                                                        // Switch the input buffer, then the c/d loop never stabilizes.
         let mut st = c.step_gate(GateId(0), &s);
         for _ in 0..64 {
             let ex = c.excited_gates(&st);

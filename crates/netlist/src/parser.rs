@@ -201,6 +201,65 @@ fn parse_kind(ln: usize, func: &str, args: &str) -> Result<GateKind> {
     })
 }
 
+/// Serializes a circuit back to the `.ckt` format; [`parse_ckt`] of the
+/// result reconstructs an identical circuit (round-trip tested).
+pub fn to_ckt(ckt: &Circuit) -> String {
+    use crate::gate::GateKind;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {}", ckt.name());
+    let inputs: Vec<String> = (0..ckt.num_inputs())
+        .map(|i| {
+            let env = ckt.signal_name(ckt.input_pin(i));
+            let buf = ckt.signal_name(ckt.gate_output(crate::circuit::GateId(i as u32)));
+            format!("{env}:{buf}")
+        })
+        .collect();
+    let _ = writeln!(out, "inputs {}", inputs.join(" "));
+    let outputs: Vec<&str> = ckt.outputs().iter().map(|&o| ckt.signal_name(o)).collect();
+    let _ = writeln!(out, "outputs {}", outputs.join(" "));
+    for gi in ckt.num_inputs()..ckt.num_gates() {
+        let g = crate::circuit::GateId(gi as u32);
+        let gate = ckt.gate(g);
+        let name = ckt.signal_name(ckt.gate_output(g));
+        let body = match &gate.kind {
+            GateKind::Sop(s) => {
+                let cubes: Vec<String> = s
+                    .cubes
+                    .iter()
+                    .map(|c| {
+                        c.0.iter()
+                            .map(|l| {
+                                let sig = ckt.signal_name(gate.inputs[l.pin]);
+                                if l.positive {
+                                    sig.to_string()
+                                } else {
+                                    format!("!{sig}")
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    })
+                    .collect();
+                format!("sop({})", cubes.join(" | "))
+            }
+            kind => {
+                let args: Vec<&str> = gate.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
+                format!("{}({})", kind.name(), args.join(", "))
+            }
+        };
+        let _ = writeln!(out, "gate {name} = {body}");
+    }
+    let init: Vec<String> = (0..ckt.num_state_bits())
+        .filter(|&i| ckt.initial_state().get(i))
+        .map(|i| format!("{}=1", ckt.signal_name(crate::circuit::SignalId(i as u32))))
+        .collect();
+    if !init.is_empty() {
+        let _ = writeln!(out, "init {}", init.join(" "));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,67 +342,4 @@ init A=1 a=1
         // y = a·b̄; with a=0 the function is 0, stable at reset.
         assert!(c.is_stable(c.initial_state()));
     }
-}
-
-/// Serializes a circuit back to the `.ckt` format; [`parse_ckt`] of the
-/// result reconstructs an identical circuit (round-trip tested).
-pub fn to_ckt(ckt: &Circuit) -> String {
-    use crate::gate::GateKind;
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(out, "circuit {}", ckt.name());
-    let inputs: Vec<String> = (0..ckt.num_inputs())
-        .map(|i| {
-            let env = ckt.signal_name(ckt.input_pin(i));
-            let buf = ckt.signal_name(ckt.gate_output(crate::circuit::GateId(i as u32)));
-            format!("{env}:{buf}")
-        })
-        .collect();
-    let _ = writeln!(out, "inputs {}", inputs.join(" "));
-    let outputs: Vec<&str> = ckt.outputs().iter().map(|&o| ckt.signal_name(o)).collect();
-    let _ = writeln!(out, "outputs {}", outputs.join(" "));
-    for gi in ckt.num_inputs()..ckt.num_gates() {
-        let g = crate::circuit::GateId(gi as u32);
-        let gate = ckt.gate(g);
-        let name = ckt.signal_name(ckt.gate_output(g));
-        let body = match &gate.kind {
-            GateKind::Sop(s) => {
-                let cubes: Vec<String> = s
-                    .cubes
-                    .iter()
-                    .map(|c| {
-                        c.0.iter()
-                            .map(|l| {
-                                let sig = ckt.signal_name(gate.inputs[l.pin]);
-                                if l.positive {
-                                    sig.to_string()
-                                } else {
-                                    format!("!{sig}")
-                                }
-                            })
-                            .collect::<Vec<_>>()
-                            .join(" ")
-                    })
-                    .collect();
-                format!("sop({})", cubes.join(" | "))
-            }
-            kind => {
-                let args: Vec<&str> = gate
-                    .inputs
-                    .iter()
-                    .map(|&s| ckt.signal_name(s))
-                    .collect();
-                format!("{}({})", kind.name(), args.join(", "))
-            }
-        };
-        let _ = writeln!(out, "gate {name} = {body}");
-    }
-    let init: Vec<String> = (0..ckt.num_state_bits())
-        .filter(|&i| ckt.initial_state().get(i))
-        .map(|i| format!("{}=1", ckt.signal_name(crate::circuit::SignalId(i as u32))))
-        .collect();
-    if !init.is_empty() {
-        let _ = writeln!(out, "init {}", init.join(" "));
-    }
-    out
 }

@@ -136,9 +136,9 @@ pub fn settle_explicit(
             break;
         }
     }
-    let (stable, unstable): (Vec<Bits>, Vec<Bits>) = frontier
-        .into_iter()
-        .partition(|s| (0..ckt.num_gates()).all(|i| !is_excited_inj(ckt, GateId(i as u32), s, inj)));
+    let (stable, unstable): (Vec<Bits>, Vec<Bits>) = frontier.into_iter().partition(|s| {
+        (0..ckt.num_gates()).all(|i| !is_excited_inj(ckt, GateId(i as u32), s, inj))
+    });
     if !unstable.is_empty() {
         let mut all = stable;
         all.extend(unstable);
@@ -254,7 +254,13 @@ mod tests {
     #[test]
     fn c_element_confluent() {
         let c = library::c_element();
-        let r = settle_explicit(&c, c.initial_state(), 0b11, &Injection::none(), &cfg_exact(&c));
+        let r = settle_explicit(
+            &c,
+            c.initial_state(),
+            0b11,
+            &Injection::none(),
+            &cfg_exact(&c),
+        );
         let s = r.confluent().expect("C-element raise is confluent");
         assert!(c.is_stable(s));
         assert!(s.get(c.signal_by_name("y").unwrap().index()));
@@ -263,13 +269,18 @@ mod tests {
     #[test]
     fn figure1a_non_confluent() {
         let c = library::figure1a();
-        let r = settle_explicit(&c, c.initial_state(), 0b01, &Injection::none(), &cfg_exact(&c));
+        let r = settle_explicit(
+            &c,
+            c.initial_state(),
+            0b01,
+            &Injection::none(),
+            &cfg_exact(&c),
+        );
         match r {
             Settle::NonConfluent(states) => {
                 assert!(states.len() >= 2);
                 let y = c.signal_by_name("y").unwrap().index();
-                let ys: std::collections::HashSet<bool> =
-                    states.iter().map(|s| s.get(y)).collect();
+                let ys: std::collections::HashSet<bool> = states.iter().map(|s| s.get(y)).collect();
                 assert_eq!(ys.len(), 2, "y differs between outcomes");
             }
             other => panic!("expected non-confluence, got {other:?}"),
@@ -279,7 +290,13 @@ mod tests {
     #[test]
     fn figure1b_unstable() {
         let c = library::figure1b();
-        let r = settle_explicit(&c, c.initial_state(), 0b01, &Injection::none(), &cfg_exact(&c));
+        let r = settle_explicit(
+            &c,
+            c.initial_state(),
+            0b01,
+            &Injection::none(),
+            &cfg_exact(&c),
+        );
         assert!(matches!(r, Settle::Unstable(_)), "oscillation detected");
     }
 
@@ -335,7 +352,9 @@ mod tests {
         let y = c.driver(c.signal_by_name("y").unwrap()).unwrap();
         let inj = Injection::single(y, Site::Output, false);
         let r = settle_explicit(&c, c.initial_state(), 0b11, &inj, &cfg_exact(&c));
-        let s = r.confluent().expect("stuck-at keeps circuit confluent here");
+        let s = r
+            .confluent()
+            .expect("stuck-at keeps circuit confluent here");
         assert!(!s.get(c.signal_by_name("y").unwrap().index()));
     }
 

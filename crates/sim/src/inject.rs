@@ -83,8 +83,9 @@ pub fn eval_gate_inj(ckt: &Circuit, g: GateId, state: &Bits, inj: &Injection) ->
                 .unwrap_or_else(|| state.get(gate.inputs[p].index()))
         })
     } else {
-        gate.kind
-            .eval(out, gate.inputs.len(), |p| state.get(gate.inputs[p].index()))
+        gate.kind.eval(out, gate.inputs.len(), |p| {
+            state.get(gate.inputs[p].index())
+        })
     }
 }
 
@@ -117,7 +118,10 @@ mod tests {
         let inj = Injection::single(y, Site::Output, true);
         let s = c.initial_state();
         assert!(eval_gate_inj(&c, y, s, &inj));
-        assert!(is_excited_inj(&c, y, s, &inj), "stuck-1 output excites at reset");
+        assert!(
+            is_excited_inj(&c, y, s, &inj),
+            "stuck-1 output excites at reset"
+        );
     }
 
     #[test]

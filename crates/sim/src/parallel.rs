@@ -210,7 +210,10 @@ impl ParallelInjection {
                 .into_iter()
                 .map(|((g, p), (m1, m0))| (g, p, m1, m0))
                 .collect(),
-            outputs: outputs.into_iter().map(|(g, (m1, m0))| (g, m1, m0)).collect(),
+            outputs: outputs
+                .into_iter()
+                .map(|(g, (m1, m0))| (g, m1, m0))
+                .collect(),
         }
     }
 
@@ -235,12 +238,7 @@ impl ParallelInjection {
     }
 }
 
-fn eval_gate_planes(
-    ckt: &Circuit,
-    g: GateId,
-    st: &PlaneState,
-    inj: &ParallelInjection,
-) -> Planes {
+fn eval_gate_planes(ckt: &Circuit, g: GateId, st: &PlaneState, inj: &ParallelInjection) -> Planes {
     let gate = ckt.gate(g);
     let pin = |p: usize| -> Planes {
         let raw = st.planes[gate.inputs[p].index()];
@@ -275,12 +273,7 @@ fn eval_gate_planes(
     f.force(m1, true).force(m0, false)
 }
 
-fn fixpoint_planes(
-    ckt: &Circuit,
-    st: &mut PlaneState,
-    inj: &ParallelInjection,
-    lub: bool,
-) {
+fn fixpoint_planes(ckt: &Circuit, st: &mut PlaneState, inj: &ParallelInjection, lub: bool) {
     let bound = 2 * LANES * 2 + 2 * ckt.num_state_bits() + 2;
     for _ in 0..bound {
         let mut changed = false;
@@ -329,13 +322,22 @@ mod tests {
     fn check_lane0_agrees(ckt: &satpg_netlist::Circuit, pattern: u64) {
         let scalar = ternary_settle(ckt, ckt.initial_state(), pattern, &Injection::none());
         let pinj = ParallelInjection::new(&[Injection::none()]);
-        let par = parallel_settle(ckt, &PlaneState::broadcast(ckt.initial_state()), pattern, &pinj);
+        let par = parallel_settle(
+            ckt,
+            &PlaneState::broadcast(ckt.initial_state()),
+            pattern,
+            &pinj,
+        );
         let scalar_tv = match scalar {
             TernaryOutcome::Definite(b) => TritVec::from_bits(&b),
             TernaryOutcome::Uncertain(tv) => tv,
         };
         for i in 0..ckt.num_state_bits() {
-            assert_eq!(par.trit(i, 0), scalar_tv.0[i], "signal {i} pattern {pattern:b}");
+            assert_eq!(
+                par.trit(i, 0),
+                scalar_tv.0[i],
+                "signal {i} pattern {pattern:b}"
+            );
         }
     }
 
@@ -360,7 +362,11 @@ mod tests {
         let st = parallel_settle(&c, &PlaneState::broadcast(c.initial_state()), 0b11, &pinj);
         let ysig = c.signal_by_name("y").unwrap().index();
         assert_eq!(st.definite(ysig, 0), Some(true), "good machine raises y");
-        assert_eq!(st.definite(ysig, 1), Some(false), "stuck-at-0 lane stays low");
+        assert_eq!(
+            st.definite(ysig, 1),
+            Some(false),
+            "stuck-at-0 lane stays low"
+        );
     }
 
     #[test]

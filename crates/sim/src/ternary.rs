@@ -44,6 +44,7 @@ impl Trit {
     }
 
     /// Kleene negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Trit {
         match self {
             Trit::Zero => Trit::One,
@@ -214,12 +215,7 @@ pub fn algorithm_b(ckt: &Circuit, state: &mut TritVec, inj: &Injection) {
 
 /// Applies input pattern `pattern` to the (binary) stable state `from`
 /// and runs algorithms A and B.
-pub fn ternary_settle(
-    ckt: &Circuit,
-    from: &Bits,
-    pattern: u64,
-    inj: &Injection,
-) -> TernaryOutcome {
+pub fn ternary_settle(ckt: &Circuit, from: &Bits, pattern: u64, inj: &Injection) -> TernaryOutcome {
     ternary_settle_from(ckt, &TritVec::from_bits(from), pattern, inj)
 }
 

@@ -63,7 +63,10 @@ fn build(bp: &Blueprint) -> Option<Circuit> {
 
 fn arb_blueprint() -> impl Strategy<Value = Blueprint> {
     (1usize..=3, 1usize..=6).prop_flat_map(|(ni, ng)| {
-        let gate = (any::<u8>(), proptest::collection::vec(0usize..(ni + ng), 1..=3));
+        let gate = (
+            any::<u8>(),
+            proptest::collection::vec(0usize..(ni + ng), 1..=3),
+        );
         proptest::collection::vec(gate, ng).prop_map(move |gates| Blueprint {
             num_inputs: ni,
             gates,
@@ -153,7 +156,7 @@ proptest! {
         // Lane 0: good machine.  Lane 1: some single fault.
         let gate = GateId((pin as u32) % c.num_gates() as u32);
         let npins = c.gate(gate).inputs.len();
-        let site = if pin as usize % 2 == 0 && npins > 0 {
+        let site = if (pin as usize).is_multiple_of(2) && npins > 0 {
             Site::Pin(pin as usize % npins)
         } else {
             Site::Output

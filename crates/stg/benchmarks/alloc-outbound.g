@@ -1,0 +1,15 @@
+# Reconstruction: two back-to-back request/acknowledge handshakes.
+.model alloc-outbound
+.inputs r1 r2
+.outputs a1 a2
+.graph
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- r1+
+.marking { <a2-,r1+> }
+.end

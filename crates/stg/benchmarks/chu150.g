@@ -1,0 +1,13 @@
+# Reconstruction: the classic C-element specification.
+.model chu150
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end

@@ -1,0 +1,13 @@
+# Reconstruction: single-request sequencer (chain follower a, b).
+.model converta
+.inputs r
+.outputs a b
+.graph
+r+ a+
+a+ b+
+b+ r-
+r- a-
+a- b-
+b- r+
+.marking { <b-,r+> }
+.end

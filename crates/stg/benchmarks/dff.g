@@ -1,0 +1,14 @@
+# Reconstruction: D-latch capture — q = c + d*q (q latches d over the
+# clock-like input c), so both inputs feed the output cone.
+.model dff
+.inputs d c
+.outputs q
+.graph
+d+ c+
+c+ q+
+q+ c-
+c- d-
+d- q-
+q- d+
+.marking { <q-,d+> }
+.end

@@ -1,0 +1,13 @@
+# Reconstruction: one request forks to two concurrent acknowledge rails.
+.model ebergen
+.inputs r
+.outputs x y
+.graph
+r+ x+ y+
+x+ r-
+y+ r-
+r- x- y-
+x- r+
+y- r+
+.marking { <x-,r+> <y-,r+> }
+.end

@@ -1,0 +1,13 @@
+# Reconstruction: out-of-order release gives a latch plus an AND stage.
+.model hazard
+.inputs r
+.outputs a b
+.graph
+r+ a+
+a+ b+
+b+ r-
+r- b-
+b- a-
+a- r+
+.marking { <a-,r+> }
+.end

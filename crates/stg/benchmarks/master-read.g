@@ -1,0 +1,15 @@
+# Reconstruction: fork to two concurrent rails joined by a C-element z.
+.model master-read
+.inputs r
+.outputs x y z
+.graph
+r+ x+ y+
+x+ z+
+y+ z+
+z+ r-
+r- x- y-
+x- z-
+y- z-
+z- r+
+.marking { <z-,r+> }
+.end

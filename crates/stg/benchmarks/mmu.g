@@ -1,0 +1,15 @@
+# Reconstruction: interleaved address/data handshakes.
+.model mmu
+.inputs am dm
+.outputs ax dx
+.graph
+am+ ax+
+ax+ dm+
+dm+ dx+
+dx+ am-
+am- ax-
+ax- dm-
+dm- dx-
+dx- am+
+.marking { <dx-,am+> }
+.end

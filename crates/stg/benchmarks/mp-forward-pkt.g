@@ -1,0 +1,13 @@
+# Reconstruction: forward-packet pulse — en pulses within one cycle.
+.model mp-forward-pkt
+.inputs req
+.outputs en ack
+.graph
+req+ en+
+en+ ack+
+ack+ en-
+en- req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

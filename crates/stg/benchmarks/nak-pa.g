@@ -1,0 +1,13 @@
+# Reconstruction: negative-ack port arbiter as a C-element join.
+.model nak-pa
+.inputs req0 req1
+.outputs ack
+.graph
+req0+ ack+
+req1+ ack+
+ack+ req0- req1-
+req0- ack-
+req1- ack-
+ack- req0+ req1+
+.marking { <ack-,req0+> <ack-,req1+> }
+.end

@@ -1,0 +1,14 @@
+# Reconstruction: active-low C-element join (all signals reset high).
+.model nowick
+.inputs a b
+.outputs c
+.graph
+a- c-
+b- c-
+c- a+ b+
+a+ c+
+b+ c+
+c+ a- b-
+.marking { <c+,a-> <c+,b-> }
+.init a=1 b=1 c=1
+.end

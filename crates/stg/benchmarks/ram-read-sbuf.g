@@ -1,0 +1,15 @@
+# Reconstruction: overlapped read/buffer handshakes (USC fails, CSC holds).
+.model ram-read-sbuf
+.inputs rd bf
+.outputs da bd
+.graph
+rd+ da+
+da+ bf+
+bf+ bd+
+bd+ bf-
+bf- bd-
+bd- rd-
+rd- da-
+da- rd+
+.marking { <da-,rd+> }
+.end

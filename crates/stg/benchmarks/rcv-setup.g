@@ -1,0 +1,13 @@
+# Reconstruction: receiver setup handshake, out-of-order release.
+.model rcv-setup
+.inputs rcv
+.outputs en rdy
+.graph
+rcv+ en+
+en+ rdy+
+rdy+ rcv-
+rcv- rdy-
+rdy- en-
+en- rcv+
+.marking { <en-,rcv+> }
+.end

@@ -1,0 +1,13 @@
+# Reconstruction: request-driven two-stage follower.
+.model rpdft
+.inputs r
+.outputs s t
+.graph
+r+ s+
+s+ t+
+t+ r-
+r- s-
+s- t-
+t- r+
+.marking { <t-,r+> }
+.end

@@ -1,0 +1,17 @@
+# Reconstruction: two requests drive a three-stage write chain.
+.model sbuf-ram-write
+.inputs wr pr
+.outputs wa wd done
+.graph
+wr+ wa+
+wa+ pr+
+pr+ wd+
+wd+ done+
+done+ wr-
+wr- wa-
+wa- pr-
+pr- wd-
+wd- done-
+done- wr+
+.marking { <done-,wr+> }
+.end

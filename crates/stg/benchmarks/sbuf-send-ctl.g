@@ -1,0 +1,15 @@
+# Reconstruction: two independent concurrent send handshakes.
+.model sbuf-send-ctl
+.inputs r1 r2
+.outputs a1 a2
+.graph
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- r1+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- r2+
+.marking { <a1-,r1+> <a2-,r2+> }
+.end

@@ -1,0 +1,15 @@
+# Reconstruction: three-stage packet-send sequencer.
+.model sbuf-send-pkt2
+.inputs req
+.outputs a b done
+.graph
+req+ a+
+a+ b+
+b+ done+
+done+ req-
+req- a-
+a- b-
+b- done-
+done- req+
+.marking { <done-,req+> }
+.end

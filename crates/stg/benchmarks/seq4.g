@@ -1,0 +1,13 @@
+# Reconstruction: the classic seq4 controller (cf. parser module docs).
+.model seq4
+.inputs r
+.outputs a b
+.graph
+r+ a+
+a+ b+
+b+ r-
+r- a-
+a- b-
+b- r+
+.marking { <b-,r+> }
+.end

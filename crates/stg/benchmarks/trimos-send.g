@@ -1,0 +1,22 @@
+# Reconstruction: phase-multiplexed send acknowledge (see vbe6a) —
+# redundant under the all-primes closure of Table 2.
+.model trimos-send
+.inputs req mode
+.outputs tx rx done
+.graph
+req+ tx+
+tx+ done+
+done+ req-
+req- tx-
+tx- done-
+done- mode+
+mode+ req+/1
+req+/1 rx+
+rx+ done+/1
+done+/1 req-/1
+req-/1 rx-
+rx- done-/1
+done-/1 mode-
+mode- req+
+.marking { <mode-,req+> }
+.end

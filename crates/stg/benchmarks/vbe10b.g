@@ -1,0 +1,22 @@
+# Reconstruction: phase-multiplexed acknowledge (see vbe6a) — redundant
+# under the all-primes closure of Table 2.
+.model vbe10b
+.inputs rq sel
+.outputs d0 d1 ack
+.graph
+rq+ d0+
+d0+ ack+
+ack+ rq-
+rq- d0-
+d0- ack-
+ack- sel+
+sel+ rq+/1
+rq+/1 d1+
+d1+ ack+/1
+ack+/1 rq-/1
+rq-/1 d1-
+d1- ack-/1
+ack-/1 sel-
+sel- rq+
+.marking { <sel-,rq+> }
+.end

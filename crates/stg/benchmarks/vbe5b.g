@@ -1,0 +1,13 @@
+# Reconstruction: out-of-order release variant.
+.model vbe5b
+.inputs c
+.outputs p q
+.graph
+c+ p+
+p+ q+
+q+ c-
+c- q-
+q- p-
+p- c+
+.marking { <p-,c+> }
+.end

@@ -1,0 +1,25 @@
+# Reconstruction: phase-multiplexed acknowledge.  The select input s only
+# toggles while r is low (fundamental mode), so the minimal two-level
+# implementation z = b + c is hazard-free; the prime closure adds the
+# redundant latch cube r*z — the Table 2 redundancy that AllPrimes
+# synthesis exposes as untestable fault sites.
+.model vbe6a
+.inputs r s
+.outputs b c z
+.graph
+r+ b+
+b+ z+
+z+ r-
+r- b-
+b- z-
+z- s+
+s+ r+/1
+r+/1 c+
+c+ z+/1
+z+/1 r-/1
+r-/1 c-
+c- z-/1
+z-/1 s-
+s- r+
+.marking { <s-,r+> }
+.end

@@ -189,7 +189,11 @@ pub fn minimize(on: &[u64], dc: &[u64], n: usize) -> Cover {
             .iter()
             .map(|c| {
                 let gain = uncovered.iter().filter(|&&p| c.contains(p)).count();
-                (gain, std::cmp::Reverse(c.num_literals()), std::cmp::Reverse(*c))
+                (
+                    gain,
+                    std::cmp::Reverse(c.num_literals()),
+                    std::cmp::Reverse(*c),
+                )
             })
             .max()
             .expect("primes nonempty when ON nonempty");
@@ -314,7 +318,10 @@ mod tests {
 
     #[test]
     fn cube_basics() {
-        let c = Cube { mask: 0b101, val: 0b001 };
+        let c = Cube {
+            mask: 0b101,
+            val: 0b001,
+        };
         assert!(c.contains(0b001));
         assert!(c.contains(0b011));
         assert!(!c.contains(0b100));
@@ -324,8 +331,14 @@ mod tests {
 
     #[test]
     fn covers_relation() {
-        let big = Cube { mask: 0b001, val: 0b001 };
-        let small = Cube { mask: 0b011, val: 0b001 };
+        let big = Cube {
+            mask: 0b001,
+            val: 0b001,
+        };
+        let small = Cube {
+            mask: 0b011,
+            val: 0b001,
+        };
         assert!(big.covers(&small));
         assert!(!small.covers(&big));
     }
@@ -333,12 +346,27 @@ mod tests {
     #[test]
     fn consensus_of_adjacent_cubes() {
         // a·b and ā·c → consensus b·c
-        let ab = Cube { mask: 0b011, val: 0b011 };
-        let nac = Cube { mask: 0b101, val: 0b100 };
+        let ab = Cube {
+            mask: 0b011,
+            val: 0b011,
+        };
+        let nac = Cube {
+            mask: 0b101,
+            val: 0b100,
+        };
         let cons = ab.consensus(&nac).unwrap();
-        assert_eq!(cons, Cube { mask: 0b110, val: 0b110 });
+        assert_eq!(
+            cons,
+            Cube {
+                mask: 0b110,
+                val: 0b110
+            }
+        );
         // Cubes opposing in two variables have no consensus.
-        let nanb = Cube { mask: 0b011, val: 0b000 };
+        let nanb = Cube {
+            mask: 0b011,
+            val: 0b000,
+        };
         assert_eq!(ab.consensus(&nanb), None);
     }
 
@@ -427,7 +455,16 @@ mod tests {
     #[test]
     fn support_lists_used_variables() {
         let cover = Cover {
-            cubes: vec![Cube { mask: 0b101, val: 0 }, Cube { mask: 0b010, val: 0b010 }],
+            cubes: vec![
+                Cube {
+                    mask: 0b101,
+                    val: 0,
+                },
+                Cube {
+                    mask: 0b010,
+                    val: 0b010,
+                },
+            ],
         };
         assert_eq!(cover.support(), vec![0, 1, 2]);
     }

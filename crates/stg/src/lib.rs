@@ -35,6 +35,7 @@
 pub mod cover;
 pub mod csc;
 mod error;
+pub mod families;
 mod model;
 mod parser;
 mod sg;

@@ -133,7 +133,12 @@ impl Stg {
     }
 
     /// Adds a transition node.
-    pub fn add_transition(&mut self, signal: SignalIdx, rising: bool, instance: u32) -> TransitionId {
+    pub fn add_transition(
+        &mut self,
+        signal: SignalIdx,
+        rising: bool,
+        instance: u32,
+    ) -> TransitionId {
         let id = TransitionId(self.transitions.len() as u32);
         self.transitions.push(Transition {
             signal,

@@ -105,10 +105,7 @@ pub fn parse_g(src: &str) -> Result<Stg> {
                 }
                 "graph" => in_graph = true,
                 "marking" => {
-                    let body = args
-                        .trim_start_matches('{')
-                        .trim_end_matches('}')
-                        .trim();
+                    let body = args.trim_start_matches('{').trim_end_matches('}').trim();
                     // Entries are either `<t,t>` or a bare place name.
                     let mut rest = body;
                     while !rest.is_empty() {
@@ -120,9 +117,7 @@ pub fn parse_g(src: &str) -> Result<Stg> {
                             marking_entries.push((ln, rest[..=close].to_string()));
                             rest = &rest[close + 1..];
                         } else {
-                            let end = rest
-                                .find(char::is_whitespace)
-                                .unwrap_or(rest.len());
+                            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
                             marking_entries.push((ln, rest[..end].to_string()));
                             rest = &rest[end..];
                         }
@@ -169,10 +164,10 @@ pub fn parse_g(src: &str) -> Result<Stg> {
         P(u32),
     }
     let node_of = |stg: &mut Stg,
-                       transitions: &mut HashMap<String, TransitionId>,
-                       places: &mut HashMap<String, u32>,
-                       ln: usize,
-                       tok: &str|
+                   transitions: &mut HashMap<String, TransitionId>,
+                   places: &mut HashMap<String, u32>,
+                   ln: usize,
+                   tok: &str|
      -> Result<Node> {
         if let Some((name, rising, inst)) = parse_transition_token(tok) {
             let sig = stg
@@ -211,7 +206,9 @@ pub fn parse_g(src: &str) -> Result<Stg> {
             let dst = node_of(&mut stg, &mut transitions, &mut places, *ln, dst_tok)?;
             match (&src, &dst) {
                 (Node::T(a), Node::T(b)) => {
-                    let p = *implicit.entry((*a, *b)).or_insert_with(|| stg.add_place(None));
+                    let p = *implicit
+                        .entry((*a, *b))
+                        .or_insert_with(|| stg.add_place(None));
                     stg.arc_tp(*a, p);
                     stg.arc_pt(p, *b);
                 }

@@ -58,10 +58,7 @@ impl StateGraph {
                 (pre, post)
             })
             .collect();
-        let m0: u128 = stg
-            .initial_marking()
-            .iter()
-            .fold(0, |m, &p| m | (1 << p));
+        let m0: u128 = stg.initial_marking().iter().fold(0, |m, &p| m | (1 << p));
 
         let code0 = infer_initial_code(stg, &masks, m0, max_states)?;
 
@@ -120,7 +117,6 @@ impl StateGraph {
             edges,
             initial: 0,
             num_signals: stg.num_signals(),
-
         })
     }
 
@@ -402,7 +398,10 @@ b+ p1
 ";
         // Both a+ and b+ put a token in p1.
         let g = parse_g(src).unwrap();
-        assert!(matches!(StateGraph::build(&g), Err(StgError::NotSafe { .. })));
+        assert!(matches!(
+            StateGraph::build(&g),
+            Err(StgError::NotSafe { .. })
+        ));
     }
 
     #[test]

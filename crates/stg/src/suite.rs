@@ -107,14 +107,20 @@ mod tests {
             let stg = load(name).unwrap();
             let sg = StateGraph::build(&stg).unwrap();
             let si = complex_gate(&stg, &sg).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert!(si.is_stable(si.initial_state()), "{name}: SI reset unstable");
+            assert!(
+                si.is_stable(si.initial_state()),
+                "{name}: SI reset unstable"
+            );
             let style = if is_redundant(name) {
                 Redundancy::AllPrimes
             } else {
                 Redundancy::None
             };
             let bd = two_level(&stg, &sg, style).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert!(bd.is_stable(bd.initial_state()), "{name}: 2L reset unstable");
+            assert!(
+                bd.is_stable(bd.initial_state()),
+                "{name}: 2L reset unstable"
+            );
             assert!(
                 bd.num_gates() >= si.num_gates(),
                 "{name}: decomposition should not shrink"
@@ -157,9 +163,7 @@ mod tests {
                 let Some(&(t, succ)) = sg
                     .edges(sg_state)
                     .iter()
-                    .find(|&&(t, _)| {
-                        inputs.contains(&stg.transitions()[t.0 as usize].signal)
-                    })
+                    .find(|&&(t, _)| inputs.contains(&stg.transitions()[t.0 as usize].signal))
                 else {
                     // Outputs must fire first: advance the SG until an
                     // input edge is available.
@@ -174,9 +178,10 @@ mod tests {
                 // Advance the SG past all output firings (the circuit does
                 // them on its own while settling).
                 loop {
-                    let next = sg.edges(sg_state).iter().find(|&&(t, _)| {
-                        !inputs.contains(&stg.transitions()[t.0 as usize].signal)
-                    });
+                    let next = sg
+                        .edges(sg_state)
+                        .iter()
+                        .find(|&&(t, _)| !inputs.contains(&stg.transitions()[t.0 as usize].signal));
                     match next {
                         Some(&(_, succ)) => sg_state = succ,
                         None => break,

@@ -82,7 +82,9 @@ pub fn next_state_covers_with(
                 on.push(st.code);
             }
         }
-        let dc: Vec<u64> = (0..(1u64 << n)).filter(|c| !reachable.contains(c)).collect();
+        let dc: Vec<u64> = (0..(1u64 << n))
+            .filter(|c| !reachable.contains(c))
+            .collect();
         let cover = if full_primes {
             crate::cover::all_primes(&on, &dc, n)
         } else {
@@ -250,7 +252,11 @@ pub fn two_level(stg: &Stg, sg: &StateGraph, redundancy: Redundancy) -> Result<C
     pending_inv.sort_unstable();
     for v in &pending_inv {
         let src = b.signal(stg.signal_name(*v).to_string());
-        b.gate(format!("{}_n", stg.signal_name(*v)), GateKind::Not, vec![src]);
+        b.gate(
+            format!("{}_n", stg.signal_name(*v)),
+            GateKind::Not,
+            vec![src],
+        );
         b.init(format!("{}_n", stg.signal_name(*v)), !value_of(*v));
     }
 
@@ -278,14 +284,11 @@ pub fn two_level(stg: &Stg, sg: &StateGraph, redundancy: Redundancy) -> Result<C
         let mut pin_polarity: Vec<bool> = Vec::new();
         let mut out_cubes: Vec<satpg_netlist::Cube> = Vec::new();
         let pin_of = |pin_names: &mut Vec<String>,
-                          pin_polarity: &mut Vec<bool>,
-                          name: String,
-                          positive: bool|
+                      pin_polarity: &mut Vec<bool>,
+                      name: String,
+                      positive: bool|
          -> usize {
-            match pin_names
-                .iter()
-                .position(|n| *n == name)
-            {
+            match pin_names.iter().position(|n| *n == name) {
                 Some(i) => i,
                 None => {
                     pin_names.push(name);
@@ -307,7 +310,10 @@ pub fn two_level(stg: &Stg, sg: &StateGraph, redundancy: Redundancy) -> Result<C
                         stg.signal_name(v).to_string(),
                         true,
                     );
-                    cube.push(Literal { pin: p, positive: pos });
+                    cube.push(Literal {
+                        pin: p,
+                        positive: pos,
+                    });
                 }
                 out_cubes.push(satpg_netlist::Cube(cube));
             } else if lits.len() == 1 {
@@ -332,9 +338,7 @@ pub fn two_level(stg: &Stg, sg: &StateGraph, redundancy: Redundancy) -> Result<C
             }
         }
         let pins: Vec<_> = pin_names.iter().map(|n| b.signal(n.clone())).collect();
-        let all_single_pos = out_cubes
-            .iter()
-            .all(|c| c.0.len() == 1 && c.0[0].positive);
+        let all_single_pos = out_cubes.iter().all(|c| c.0.len() == 1 && c.0[0].positive);
         if all_single_pos && out_cubes.len() == pins.len() {
             // Purely combinational: a plain OR (or buffer) suffices.
             if pins.len() == 1 {
@@ -404,7 +408,10 @@ c- a+ b+
         assert!(c.is_stable(c.initial_state()));
         assert!(c.num_gates() > 3, "decomposed into AND/OR gates");
         let out = ternary_settle(&c, c.initial_state(), 0b11, &Injection::none());
-        let s = out.definite().expect("majority raise is still clean").clone();
+        let s = out
+            .definite()
+            .expect("majority raise is still clean")
+            .clone();
         assert!(s.get(c.signal_by_name("c").unwrap().index()));
     }
 
@@ -413,8 +420,14 @@ c- a+ b+
         // f = ab + āc: consensus bc is redundant.
         let cover = Cover {
             cubes: vec![
-                Cube { mask: 0b011, val: 0b011 },
-                Cube { mask: 0b101, val: 0b100 },
+                Cube {
+                    mask: 0b011,
+                    val: 0b011,
+                },
+                Cube {
+                    mask: 0b101,
+                    val: 0b100,
+                },
             ],
         };
         let aug = add_consensus_cubes(&cover);

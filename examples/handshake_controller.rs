@@ -16,7 +16,8 @@ fn main() {
 
     let sg = StateGraph::build(&stg).expect("consistent and safe");
     println!("state graph: {} states", sg.states().len());
-    sg.check_output_persistent(&stg).expect("speed-independent spec");
+    sg.check_output_persistent(&stg)
+        .expect("speed-independent spec");
 
     let ckt = synth::complex_gate(&stg, &sg).expect("CSC holds");
     println!("synthesized {ckt}");

@@ -14,7 +14,10 @@ fn analyze(ckt: &satpg::netlist::Circuit, pattern: u64, label: &str) {
     match ternary_settle(ckt, ckt.initial_state(), pattern, &Injection::none()) {
         TernaryOutcome::Definite(state) => println!("  ternary: definite {state}"),
         TernaryOutcome::Uncertain(tv) => {
-            println!("  ternary: {} signals stuck at Φ (conservative alarm)", tv.num_unknown())
+            println!(
+                "  ternary: {} signals stuck at Φ (conservative alarm)",
+                tv.num_unknown()
+            )
         }
     }
     let cfg = ExplicitConfig {
@@ -24,13 +27,19 @@ fn analyze(ckt: &satpg::netlist::Circuit, pattern: u64, label: &str) {
     match settle_explicit(ckt, ckt.initial_state(), pattern, &Injection::none(), &cfg) {
         Settle::Confluent(s) => println!("  exact: confluent to {s}"),
         Settle::NonConfluent(states) => {
-            println!("  exact: NON-CONFLUENT — {} possible stable outcomes:", states.len());
+            println!(
+                "  exact: NON-CONFLUENT — {} possible stable outcomes:",
+                states.len()
+            );
             for s in states {
                 println!("    outputs {:b} in state {s}", ckt.output_values(&s));
             }
         }
         Settle::Unstable(states) => {
-            println!("  exact: OSCILLATING — {} states still switching at k", states.len())
+            println!(
+                "  exact: OSCILLATING — {} states still switching at k",
+                states.len()
+            )
         }
         Settle::Overflow => println!("  exact: overflow"),
     }

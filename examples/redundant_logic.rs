@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example redundant_logic`.
 
 use satpg::prelude::*;
-use satpg::stg::synth::{two_level, Redundancy};
 use satpg::stg::suite;
+use satpg::stg::synth::{two_level, Redundancy};
 
 fn main() {
     for name in ["vbe6a", "trimos-send"] {

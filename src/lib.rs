@@ -12,7 +12,9 @@
 //!   interleaving simulation;
 //! * [`stg`] — signal transition graphs, state graphs and logic
 //!   synthesis (the benchmark substrate);
-//! * [`core`] — the CSSG synchronous abstraction and the ATPG engine.
+//! * [`core`] — the CSSG synchronous abstraction and the serial ATPG flow;
+//! * [`engine`] — the fault-parallel orchestration engine (sharded
+//!   workers, work stealing, test broadcasting, deterministic merge).
 //!
 //! # Quickstart
 //!
@@ -26,6 +28,7 @@
 
 pub use satpg_bdd as bdd;
 pub use satpg_core as core;
+pub use satpg_engine as engine;
 pub use satpg_netlist as netlist;
 pub use satpg_sim as sim;
 pub use satpg_stg as stg;
@@ -33,10 +36,11 @@ pub use satpg_stg as stg;
 /// The commonly used items in one import.
 pub mod prelude {
     pub use satpg_core::{
-        build_cssg, fault_simulate, input_stuck_faults, output_stuck_faults, random_tpg,
-        run_atpg, three_phase, validate_test, AtpgConfig, AtpgReport, Cssg, CssgConfig, Fault,
-        FaultModel, FaultStatus, Phase, RandomTpgConfig, TestSequence, ThreePhaseConfig, Verdict,
+        build_cssg, fault_simulate, input_stuck_faults, output_stuck_faults, random_tpg, run_atpg,
+        three_phase, validate_test, AtpgConfig, AtpgReport, Cssg, CssgConfig, Fault, FaultModel,
+        FaultStatus, Phase, RandomTpgConfig, TestSequence, ThreePhaseConfig, Verdict,
     };
+    pub use satpg_engine::{run_engine, EngineConfig, EngineReport, WorkerStats};
     pub use satpg_netlist::{Bits, Circuit, CircuitBuilder, GateKind};
     pub use satpg_sim::{
         settle_explicit, ternary_settle, ExplicitConfig, Injection, Settle, Site, TernaryOutcome,

@@ -8,12 +8,17 @@
 //! satpg scan <bench> [--style …]     # scan-point candidates (extension)
 //! satpg table <1|2>                  # regenerate a paper table
 //! satpg dot <bench> [--style …]      # Graphviz export
+//! satpg gen <family> --size K        # muller|dme|arbiter|seq → .ckt on stdout
+//! satpg engine <bench|-> [--workers N] [--no-broadcast] [--no-audit]
+//!                                    # fault-parallel ATPG; `-` reads .ckt
+//!                                    # from stdin (pipe from `satpg gen`)
 //! ```
 
 use satpg::core::report::{format_table, TableRow};
-use satpg::core::{build_cssg, run_atpg, AtpgConfig, CssgConfig, FaultModel};
 use satpg::core::tester::TestProgram;
-use satpg::netlist::Circuit;
+use satpg::core::{build_cssg, run_atpg, AtpgConfig, CssgConfig, FaultModel};
+use satpg::engine::{run_engine, EngineConfig};
+use satpg::netlist::{parse_ckt, to_ckt, Circuit};
 use satpg::stg::synth::{complex_gate, two_level, Redundancy};
 use satpg::stg::{suite, StateGraph};
 use std::process::ExitCode;
@@ -28,7 +33,10 @@ fn usage() -> ExitCode {
            atpg  <bench> [--style si|2l|2lr] [--output-model] [--collapse] [--no-random] [--program]\n  \
            scan  <bench> [--style si|2l|2lr]\n  \
            table <1|2>\n  \
-           dot   <bench> [--style si|2l|2lr]"
+           dot   <bench> [--style si|2l|2lr]\n  \
+           gen   <muller|dme|arbiter|seq> [--size K]\n  \
+           engine <bench|-> [--style si|2l|2lr] [--k N] [--workers N] [--output-model]\n          \
+                  [--collapse] [--no-random] [--no-broadcast] [--no-audit]"
     );
     ExitCode::FAILURE
 }
@@ -41,6 +49,10 @@ struct Opts {
     collapse: bool,
     no_random: bool,
     program: bool,
+    workers: usize,
+    size: Option<usize>,
+    no_broadcast: bool,
+    no_audit: bool,
 }
 
 fn parse_opts(args: &[String]) -> Option<Opts> {
@@ -52,6 +64,10 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         collapse: false,
         no_random: false,
         program: false,
+        workers: 0,
+        size: None,
+        no_broadcast: false,
+        no_audit: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -62,6 +78,11 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--collapse" => o.collapse = true,
             "--no-random" => o.no_random = true,
             "--program" => o.program = true,
+            "--workers" => o.workers = it.next()?.parse().ok()?,
+            "--size" => o.size = Some(it.next()?.parse().ok()?),
+            "--no-broadcast" => o.no_broadcast = true,
+            "--no-audit" => o.no_audit = true,
+            "-" if o.bench.is_none() => o.bench = Some("-".to_string()),
             s if !s.starts_with('-') && o.bench.is_none() => o.bench = Some(s.to_string()),
             _ => return None,
         }
@@ -81,6 +102,38 @@ fn synthesize(name: &str, style: &str) -> Result<Circuit, String> {
     }
 }
 
+/// Builds a generated-family circuit: `muller`/`arbiter` at netlist
+/// level, `dme`/`seq` through the STG pipeline.
+fn generate(family: &str, size: Option<usize>) -> Result<Circuit, String> {
+    use satpg::netlist::families as nf;
+    use satpg::stg::families as sf;
+    let size_in = |size: Option<usize>, default: usize, lo: usize, hi: usize| {
+        let k = size.unwrap_or(default);
+        if (lo..=hi).contains(&k) {
+            Ok(k)
+        } else {
+            Err(format!(
+                "--size {k} out of range for this family ({lo}..={hi})"
+            ))
+        }
+    };
+    match family {
+        "muller" => Ok(nf::muller_pipeline(size_in(size, 4, 1, 64)?)),
+        "arbiter" => Ok(nf::arbiter_tree(size_in(size, 4, 2, 62)?)),
+        "dme" => {
+            let stg = sf::dme_ring(size_in(size, 3, 2, 6)?).map_err(|e| e.to_string())?;
+            let sg = StateGraph::build(&stg).map_err(|e| e.to_string())?;
+            complex_gate(&stg, &sg).map_err(|e| e.to_string())
+        }
+        "seq" => {
+            let stg = sf::sequencer(size_in(size, 4, 1, 15)?).map_err(|e| e.to_string())?;
+            let sg = StateGraph::build(&stg).map_err(|e| e.to_string())?;
+            complex_gate(&stg, &sg).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown family `{other}` (muller|dme|arbiter|seq)")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -89,7 +142,11 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "list" => {
             for &n in suite::NAMES {
-                let tag = if suite::is_redundant(n) { "  (redundant in table 2)" } else { "" };
+                let tag = if suite::is_redundant(n) {
+                    "  (redundant in table 2)"
+                } else {
+                    ""
+                };
                 println!("{n}{tag}");
             }
             ExitCode::SUCCESS
@@ -120,6 +177,118 @@ fn main() -> ExitCode {
             }
             _ => usage(),
         },
+        "gen" => {
+            let Some(o) = parse_opts(&args[1..]) else {
+                return usage();
+            };
+            let family = o.bench.as_deref().expect("checked");
+            let ckt = match generate(family, o.size) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", to_ckt(&ckt));
+            ExitCode::SUCCESS
+        }
+        "engine" => {
+            let Some(o) = parse_opts(&args[1..]) else {
+                return usage();
+            };
+            let name = o.bench.as_deref().expect("checked");
+            let ckt = if name == "-" {
+                let mut src = String::new();
+                use std::io::Read as _;
+                if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+                    eprintln!("error: reading stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+                match parse_ckt(&src) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match synthesize(name, &o.style) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let cfg = EngineConfig {
+                atpg: AtpgConfig {
+                    cssg: CssgConfig {
+                        k: o.k,
+                        ..CssgConfig::default()
+                    },
+                    random: if o.no_random {
+                        None
+                    } else {
+                        Some(Default::default())
+                    },
+                    fault_model: if o.output_model {
+                        FaultModel::OutputStuckAt
+                    } else {
+                        FaultModel::InputStuckAt
+                    },
+                    collapse: o.collapse,
+                    fault_sim: true,
+                    ..Default::default()
+                },
+                workers: o.workers,
+                broadcast: !o.no_broadcast,
+                symbolic_audit: !o.no_audit,
+            };
+            match run_engine(&ckt, &cfg) {
+                Ok(out) => {
+                    let r = &out.report;
+                    println!(
+                        "{}: {}/{} detected ({:.2}% coverage, {:.2}% efficiency), {} untestable, {} aborted, {} tests, {} us",
+                        r.circuit,
+                        r.covered(),
+                        r.total(),
+                        r.coverage(),
+                        r.efficiency(),
+                        r.untestable(),
+                        r.aborted(),
+                        r.tests.len(),
+                        r.us_total()
+                    );
+                    println!(
+                        "engine: {} workers, {} parallel verdicts, {} merge fallbacks, parallel {} us, merge {} us",
+                        out.workers.len(),
+                        out.parallel_verdicts,
+                        out.merge_fallbacks,
+                        out.us_parallel,
+                        out.us_merge
+                    );
+                    for w in &out.workers {
+                        println!(
+                            "  worker {}: searched {:>3} (stolen {:>3}), tests {:>3}, drops {:>3}, bdd {} nodes / {} cache ({} clears), busy {} us",
+                            w.worker,
+                            w.searched,
+                            w.stolen,
+                            w.tests_found,
+                            w.broadcast_drops,
+                            w.bdd_nodes,
+                            w.bdd_cache,
+                            w.bdd_cache_clears,
+                            w.us_busy
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "synth" | "cssg" | "atpg" | "dot" | "scan" => {
             let Some(o) = parse_opts(&args[1..]) else {
                 return usage();
@@ -137,9 +306,13 @@ fn main() -> ExitCode {
                     println!("{ckt}");
                     for (gi, g) in ckt.gates().iter().enumerate() {
                         let out = ckt.gate_output(satpg::netlist::GateId(gi as u32));
-                        let ins: Vec<&str> =
-                            g.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
-                        println!("  {} = {}({})", ckt.signal_name(out), g.kind.name(), ins.join(", "));
+                        let ins: Vec<&str> = g.inputs.iter().map(|&s| ckt.signal_name(s)).collect();
+                        println!(
+                            "  {} = {}({})",
+                            ckt.signal_name(out),
+                            g.kind.name(),
+                            ins.join(", ")
+                        );
                     }
                 }
                 "dot" => print!("{}", ckt.to_dot()),
@@ -218,12 +391,8 @@ fn main() -> ExitCode {
                     let cfg = CssgConfig::default();
                     let cssg = build_cssg(&ckt, &cfg).expect("stable reset");
                     let report = run_atpg(&ckt, &AtpgConfig::paper()).expect("ATPG runs");
-                    let analysis = satpg::core::scan_candidates(
-                        &ckt,
-                        &cssg,
-                        &report,
-                        &Default::default(),
-                    );
+                    let analysis =
+                        satpg::core::scan_candidates(&ckt, &cssg, &report, &Default::default());
                     println!(
                         "{}: {}/{} undetected; scan candidates:",
                         ckt.name(),
@@ -238,7 +407,10 @@ fn main() -> ExitCode {
                         );
                     }
                     if !analysis.hopeless.is_empty() {
-                        println!("  {} faults exposed by no single point", analysis.hopeless.len());
+                        println!(
+                            "  {} faults exposed by no single point",
+                            analysis.hopeless.len()
+                        );
                     }
                 }
                 _ => unreachable!(),

@@ -90,7 +90,10 @@ fn redundant_two_level_circuits_lose_coverage() {
     let redundant = two_level(&stg, &sg, Redundancy::AllPrimes).unwrap();
     let rp = run_atpg(&plain, &AtpgConfig::paper()).unwrap();
     let rr = run_atpg(&redundant, &AtpgConfig::paper()).unwrap();
-    assert!(rr.total() > rp.total(), "redundant form has more fault sites");
+    assert!(
+        rr.total() > rp.total(),
+        "redundant form has more fault sites"
+    );
     assert!(
         rr.coverage() < rp.coverage(),
         "redundancy lowers coverage: {:.1}% vs {:.1}%",

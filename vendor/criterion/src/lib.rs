@@ -1,0 +1,151 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by this
+//! workspace.
+//!
+//! The build environment has no network access, so benches link against
+//! this minimal harness instead: it runs each registered function a
+//! bounded number of iterations, reports the mean wall-clock time on
+//! stdout (one human line plus one JSON line per benchmark), and skips
+//! all of criterion's statistics, plots and state.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement cap per benchmark: stop after this much accumulated time.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Throughput annotation (recorded, echoed in the JSON line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    max_iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, repeating until the sample budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < self.max_iters && start.elapsed() < TIME_BUDGET {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, self.throughput, f);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), 20, None, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, max_iters: u64, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        max_iters: max_iters.max(1),
+    };
+    f(&mut b);
+    let iters = b.iters_done.max(1);
+    let mean_ns = b.elapsed.as_nanos() as u64 / iters;
+    println!("bench {id:<40} {mean_ns:>12} ns/iter  ({iters} iters)");
+    let tp_json = match tp {
+        Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+        Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+        None => String::new(),
+    };
+    println!("{{\"bench\":\"{id}\",\"mean_ns\":{mean_ns},\"iters\":{iters}{tp_json}}}");
+}
+
+/// Registers bench functions under one runner (mirror of
+/// `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the registered groups (mirror of
+/// `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
