@@ -12,7 +12,12 @@
 //! * monotone variable remapping ([`Manager::remap`]) for moving
 //!   predicates between the interleaved current/next/auxiliary variable
 //!   frames,
-//! * model enumeration, counting and cube extraction.
+//! * model enumeration, counting and cube extraction,
+//! * mark-and-sweep garbage collection with rooted handles
+//!   ([`Manager::protect`]/[`Manager::root`], [`Manager::gc`],
+//!   [`Manager::gc_if_above`], [`Manager::set_gc_threshold`]) so
+//!   long-lived managers are bounded by their working set rather than
+//!   by everything they ever computed.
 //!
 //! Variable order is fixed: variable index *is* level (no dynamic
 //! reordering; callers choose a good static interleaving).
@@ -33,4 +38,4 @@ mod hash;
 mod manager;
 mod sat;
 
-pub use manager::{Bdd, Manager};
+pub use manager::{Bdd, GcStats, Manager, Root};

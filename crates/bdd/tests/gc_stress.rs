@@ -1,0 +1,153 @@
+//! GC stress: build and drop well over 100k nodes under a low
+//! `gc_if_above` threshold and verify the peak unique-table size stays
+//! an order of magnitude below the immortal-node baseline while every
+//! rooted function remains semantically unchanged.
+//!
+//! This is the CI job's release-mode memory test, but it is cheap
+//! enough to run in the default (debug) suite as well.
+
+use satpg_bdd::{Bdd, Manager};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants) — the test must
+/// not depend on an RNG crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+const NVARS: u32 = 32;
+const THRESHOLD: usize = 4096;
+const CHURN_TARGET: usize = 120_000;
+
+/// Builds one pseudo-random SOP (OR of conjunctions of literals) under
+/// the rooted-handle discipline, returning its unrooted handle.
+fn random_sop(m: &mut Manager, rng: &mut Lcg) -> Bdd {
+    let mut acc = Bdd::FALSE;
+    m.protect(acc);
+    for _ in 0..6 {
+        let mut c = Bdd::TRUE;
+        m.protect(c);
+        for _ in 0..8 {
+            // Sample from the high bits: an LCG's low bits are periodic.
+            let v = ((rng.next() >> 33) % NVARS as u64) as u32;
+            let pos = rng.next() >> 63 == 1;
+            let lit = m.literal(v, pos);
+            let nc = m.and(c, lit);
+            c = m.reroot(c, nc);
+        }
+        let na = m.or(acc, c);
+        acc = m.reroot(acc, na);
+        m.unprotect(c);
+    }
+    m.unprotect(acc);
+    acc
+}
+
+#[test]
+fn peak_stays_bounded_under_100k_node_churn() {
+    let mut m = Manager::new(NVARS);
+    m.set_gc_threshold(Some(THRESHOLD));
+
+    // Three long-lived rooted functions of different shapes.
+    let parity = {
+        let mut acc = Bdd::FALSE;
+        for v in (0..16).step_by(2) {
+            let x = m.var(v);
+            acc = m.xor(acc, x); // acc is an operand: safe under auto-GC
+        }
+        acc
+    };
+    m.protect(parity);
+    let wide_cube = {
+        let lits: Vec<(u32, bool)> = (0..NVARS).map(|v| (v, v % 3 != 0)).collect();
+        m.cube(&lits)
+    };
+    m.protect(wide_cube);
+    let mixed = {
+        let a = m.var(7);
+        m.protect(a);
+        let b = m.var(19);
+        m.protect(b);
+        let c = m.var(28);
+        let bc = m.or(b, c);
+        let r = m.ite(a, bc, parity);
+        m.unprotect(b);
+        m.unprotect(a);
+        r
+    };
+    m.protect(mixed);
+    let rooted = [parity, wide_cube, mixed];
+
+    // Reference semantics on 64 pseudo-random assignments.
+    let mut rng = Lcg(0x5eed_cafe);
+    let assignments: Vec<u64> = (0..64).map(|_| rng.next()).collect();
+    let snapshot: Vec<Vec<bool>> = rooted
+        .iter()
+        .map(|&f| {
+            assignments
+                .iter()
+                .map(|&a| m.eval(f, &|v| (a >> v) & 1 == 1))
+                .collect()
+        })
+        .collect();
+
+    // Churn: build and immediately drop random products until well past
+    // the 100k-created mark.
+    let mut rounds = 0usize;
+    while m.created_nodes() < CHURN_TARGET {
+        let _dead = random_sop(&mut m, &mut rng);
+        rounds += 1;
+        assert!(rounds < 1_000_000, "churn loop failed to allocate");
+    }
+
+    let created = m.created_nodes();
+    let peak = m.peak_unique_len();
+    let stats = m.gc_stats();
+    assert!(created >= 100_000, "churned {created} nodes");
+    assert!(stats.runs > 0, "threshold {THRESHOLD} must trigger sweeps");
+    assert!(stats.reclaimed > 0);
+    // The acceptance bound: with immortal nodes the unique table would
+    // have held every created node, so the GC'd peak must be at least
+    // 10x smaller than that baseline.
+    assert!(
+        peak * 10 <= created,
+        "peak {peak} not >=10x below the immortal baseline {created}"
+    );
+    // The slab (capacity) is equally bounded: freed slots are reused.
+    assert!(m.num_nodes() <= peak + 2);
+
+    // Every rooted function is semantically untouched.
+    for (fi, &f) in rooted.iter().enumerate() {
+        for (ai, &a) in assignments.iter().enumerate() {
+            assert_eq!(
+                m.eval(f, &|v| (a >> v) & 1 == 1),
+                snapshot[fi][ai],
+                "rooted function {fi} changed under churn"
+            );
+        }
+    }
+    // And still canonical: rebuilding parity lands on the same handle.
+    let rebuilt = {
+        let mut acc = Bdd::FALSE;
+        for v in (0..16).step_by(2) {
+            let x = m.var(v);
+            acc = m.xor(acc, x);
+        }
+        acc
+    };
+    assert_eq!(rebuilt, parity);
+
+    m.unprotect(parity);
+    m.unprotect(wide_cube);
+    m.unprotect(mixed);
+    // Dropping the last roots lets a final sweep empty the table.
+    m.gc();
+    assert_eq!(m.unique_len(), 0);
+}

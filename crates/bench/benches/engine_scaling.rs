@@ -34,6 +34,7 @@ fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, Stri
         workers,
         broadcast: true,
         symbolic_audit: false,
+        gc_threshold: None,
     };
     // Warm-up, then best-of-`reps` wall clock.
     let mut best = u128::MAX;
@@ -60,6 +61,40 @@ fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, Stri
     (best, json)
 }
 
+/// Memory-policy probe: the same audited campaign under immortal nodes
+/// vs a GC'd worker manager, reporting the peak BDD unique-table size
+/// (the before/after figure for the reclamation work).
+fn measure_memory(label: &str, ckt: &Circuit, gc_threshold: Option<usize>) -> String {
+    let cfg = EngineConfig {
+        atpg: AtpgConfig {
+            random: None,
+            fault_sim: true,
+            ..AtpgConfig::default()
+        },
+        workers: 2,
+        broadcast: true,
+        symbolic_audit: true,
+        gc_threshold,
+    };
+    let out = run_engine(ckt, &cfg).expect("engine runs");
+    let peak = out
+        .workers
+        .iter()
+        .map(|w| w.bdd_peak_unique)
+        .max()
+        .unwrap_or(0);
+    let reclaimed: usize = out.workers.iter().map(|w| w.bdd_reclaimed).sum();
+    let sweeps: usize = out.workers.iter().map(|w| w.bdd_gc_runs).sum();
+    let policy = match gc_threshold {
+        Some(t) => format!("gc{t}"),
+        None => "immortal".to_string(),
+    };
+    format!(
+        "{{\"bench\":\"engine_memory\",\"workload\":\"{label}\",\"policy\":\"{policy}\",\
+         \"bdd_peak_unique\":{peak},\"bdd_reclaimed\":{reclaimed},\"gc_sweeps\":{sweeps}}}"
+    )
+}
+
 fn main() {
     let workloads: Vec<(&str, Circuit)> = vec![
         ("dme_ring5", dme_circuit(5)),
@@ -84,6 +119,12 @@ fn main() {
                 trajectory.push_str(",\n");
             }
             first = false;
+            let _ = write!(trajectory, "  {json}");
+        }
+        for gc in [None, Some(1usize << 10)] {
+            let json = measure_memory(label, ckt, gc);
+            println!("{json}");
+            trajectory.push_str(",\n");
             let _ = write!(trajectory, "  {json}");
         }
     }

@@ -63,6 +63,17 @@ impl AtpgConfig {
             ..Default::default()
         }
     }
+
+    /// [`AtpgConfig::paper`] with three-phase limits derived from the
+    /// circuit size ([`ThreePhaseConfig::scaled`]) so large generated
+    /// families do not abort on the paper-tuned defaults.  For
+    /// paper-sized circuits this is identical to `paper()`.
+    pub fn scaled(ckt: &Circuit) -> Self {
+        AtpgConfig {
+            three_phase: ThreePhaseConfig::scaled(ckt),
+            ..AtpgConfig::paper()
+        }
+    }
 }
 
 /// Per-fault outcome.

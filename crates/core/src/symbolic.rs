@@ -19,14 +19,24 @@ use crate::cssg::Cssg;
 use crate::error::CoreError;
 use crate::Result;
 use satpg_bdd::{Bdd, Manager};
-use satpg_netlist::{Bits, Circuit, GateId, GateKind};
+use satpg_netlist::{Bits, Circuit, Gate, GateId, GateKind};
 
 /// Frame offsets.
 const X: u32 = 0;
 const Y: u32 = 1;
 const Z: u32 = 2;
 
+/// Default auto-GC threshold for the builder's manager: generous enough
+/// that the bundled benchmarks never trigger it, tight enough that large
+/// generated families reclaim their TCR-iteration intermediates.
+pub const DEFAULT_GC_THRESHOLD: usize = 1 << 16;
+
 /// The symbolic CSSG builder.
+///
+/// The builder roots its long-lived functions (the excitation vector,
+/// the stability predicate, the transition relations and the iterated
+/// TCR) so dead intermediates — in particular superseded TCR iterates —
+/// are reclaimed whenever the manager's auto-GC threshold trips.
 ///
 /// # Example
 ///
@@ -45,13 +55,31 @@ pub struct SymbolicCssg {
 
 impl SymbolicCssg {
     /// Builds the CSSG of `ckt` symbolically with transition bound `k`
-    /// (default `4·gates + 4`).
+    /// (default `4·gates + 4`), under the default memory policy
+    /// ([`DEFAULT_GC_THRESHOLD`]).
     ///
     /// # Errors
     ///
     /// [`CoreError::TooManyStateBits`] beyond 32 bits,
     /// [`CoreError::NoStableReset`] for an unstable reset state.
     pub fn build(ckt: &Circuit, k: Option<usize>) -> Result<Cssg> {
+        Self::build_with_gc(ckt, k, Some(DEFAULT_GC_THRESHOLD))
+    }
+
+    /// [`SymbolicCssg::build`] with an explicit GC policy: `None` keeps
+    /// every node immortal, `Some(t)` sweeps unrooted nodes whenever the
+    /// unique table exceeds `t` entries.
+    pub fn build_with_gc(ckt: &Circuit, k: Option<usize>, gc: Option<usize>) -> Result<Cssg> {
+        Ok(Self::build_inner(ckt, k, gc)?.0)
+    }
+
+    /// The full construction, also returning the manager's GC telemetry
+    /// (exposed for tests and benches).
+    pub fn build_inner(
+        ckt: &Circuit,
+        k: Option<usize>,
+        gc: Option<usize>,
+    ) -> Result<(Cssg, satpg_bdd::GcStats)> {
         let nbits = ckt.num_state_bits();
         if nbits > 32 {
             return Err(CoreError::TooManyStateBits(nbits));
@@ -60,13 +88,18 @@ impl SymbolicCssg {
             return Err(CoreError::NoStableReset);
         }
         let k = k.unwrap_or(4 * ckt.num_gates() + 4);
+        let mut mgr = Manager::new(3 * nbits as u32);
+        mgr.set_gc_threshold(gc);
         let mut s = SymbolicCssg {
-            mgr: Manager::new(3 * nbits as u32),
+            mgr,
             nbits,
             m: ckt.num_inputs(),
         };
         let valid = s.valid_relation(ckt, k);
-        s.extract(ckt, valid, k)
+        s.mgr.protect(valid);
+        let cssg = s.extract(ckt, valid, k)?;
+        s.mgr.unprotect(valid);
+        Ok((cssg, s.mgr.gc_stats()))
     }
 
     fn var(&mut self, bit: usize, frame: u32) -> Bdd {
@@ -83,19 +116,34 @@ impl SymbolicCssg {
             .collect();
         let out = self.var(ckt.gate_output(g).index(), X);
         let m = &mut self.mgr;
+        // Pin handles (and the feedback pin `out`) are reused across the
+        // folds below, so an auto-GC inside any step must not sweep them.
+        for &p in &pins {
+            m.protect(p);
+        }
+        m.protect(out);
+        let r = Self::gate_fn_body(m, &gate, &pins, out);
+        m.unprotect(out);
+        for &p in &pins {
+            m.unprotect(p);
+        }
+        r
+    }
+
+    fn gate_fn_body(m: &mut Manager, gate: &Gate, pins: &[Bdd], out: Bdd) -> Bdd {
         let fold_and = |m: &mut Manager, xs: &[Bdd]| xs.iter().fold(Bdd::TRUE, |a, &b| m.and(a, b));
         let fold_or = |m: &mut Manager, xs: &[Bdd]| xs.iter().fold(Bdd::FALSE, |a, &b| m.or(a, b));
         match &gate.kind {
             GateKind::Input | GateKind::Buf => pins[0],
             GateKind::Not => m.not(pins[0]),
-            GateKind::And => fold_and(m, &pins),
-            GateKind::Or => fold_or(m, &pins),
+            GateKind::And => fold_and(m, pins),
+            GateKind::Or => fold_or(m, pins),
             GateKind::Nand => {
-                let a = fold_and(m, &pins);
+                let a = fold_and(m, pins);
                 m.not(a)
             }
             GateKind::Nor => {
-                let o = fold_or(m, &pins);
+                let o = fold_or(m, pins);
                 m.not(o)
             }
             GateKind::Xor => pins.iter().fold(Bdd::FALSE, |a, &b| m.xor(a, b)),
@@ -104,22 +152,31 @@ impl SymbolicCssg {
                 m.not(x)
             }
             GateKind::C => {
-                let all = fold_and(m, &pins);
-                let any = fold_or(m, &pins);
+                let all = fold_and(m, pins);
+                m.protect(all);
+                let any = fold_or(m, pins);
                 let hold = m.and(out, any);
-                m.or(all, hold)
+                let r = m.or(all, hold);
+                m.unprotect(all);
+                r
             }
             GateKind::Sop(sop) => {
                 let mut acc = Bdd::FALSE;
+                m.protect(acc);
                 for cube in &sop.cubes {
                     let mut c = Bdd::TRUE;
+                    m.protect(c);
                     for l in &cube.0 {
                         let v = pins[l.pin];
                         let lit = if l.positive { v } else { m.not(v) };
-                        c = m.and(c, lit);
+                        let nc = m.and(c, lit);
+                        c = m.reroot(c, nc);
                     }
-                    acc = m.or(acc, c);
+                    let na = m.or(acc, c);
+                    acc = m.reroot(acc, na);
+                    m.unprotect(c);
                 }
+                m.unprotect(acc);
                 acc
             }
             GateKind::Const(v) => {
@@ -135,58 +192,85 @@ impl SymbolicCssg {
     /// `iff(bit@a, bit@b)` conjoined over a bit range.
     fn same(&mut self, bits: impl Iterator<Item = usize>, fa: u32, fb: u32) -> Bdd {
         let mut acc = Bdd::TRUE;
+        self.mgr.protect(acc);
         for i in bits {
             let a = self.var(i, fa);
             let b = self.var(i, fb);
+            // `acc` is held across the `iff`, so it stays rooted.
             let eq = self.mgr.iff(a, b);
-            acc = self.mgr.and(acc, eq);
+            let next = self.mgr.and(acc, eq);
+            acc = self.mgr.reroot(acc, next);
         }
+        self.mgr.unprotect(acc);
         acc
     }
 
     /// Builds the validated CSSG relation over (X, Y).
+    ///
+    /// Every BDD held across another operation is rooted for exactly the
+    /// span it is needed, so an auto-GC sweep at any operation boundary
+    /// reclaims precisely the superseded intermediates (most notably the
+    /// dead TCR iterates, the dominant allocation on large circuits).
     fn valid_relation(&mut self, ckt: &Circuit, k: usize) -> Bdd {
         let nbits = self.nbits;
         let m_inputs = self.m;
         // Excitation and stability over X.
         let mut excited = Vec::with_capacity(ckt.num_gates());
         let mut stable = Bdd::TRUE;
+        self.mgr.protect(stable);
         for gi in 0..ckt.num_gates() {
             let g = GateId(gi as u32);
             let f = self.gate_fn(ckt, g);
             let out = self.var(ckt.gate_output(g).index(), X);
             let e = self.mgr.xor(f, out);
+            self.mgr.protect(e);
             excited.push(e);
             let ne = self.mgr.not(e);
-            stable = self.mgr.and(stable, ne);
+            let next = self.mgr.and(stable, ne);
+            stable = self.mgr.reroot(stable, next);
         }
 
         // R_δ(x,y): stable self-loop or one excited gate switches.
         let same_all = self.same(0..nbits, X, Y);
         let mut r_delta = self.mgr.and(stable, same_all);
+        self.mgr.protect(r_delta);
         for (gi, &exc) in excited.iter().enumerate() {
             let g = GateId(gi as u32);
             let out_bit = ckt.gate_output(g).index();
             let same_rest = self.same((0..nbits).filter(|&i| i != out_bit), X, Y);
+            self.mgr.protect(same_rest);
             let xo = self.var(out_bit, X);
             let yo = self.var(out_bit, Y);
             let flip = self.mgr.xor(xo, yo);
             let t = self.mgr.and(exc, flip);
             let t = self.mgr.and(t, same_rest);
-            r_delta = self.mgr.or(r_delta, t);
+            self.mgr.unprotect(same_rest);
+            let next = self.mgr.or(r_delta, t);
+            r_delta = self.mgr.reroot(r_delta, next);
+        }
+        // The excitation vector is dead from here on.
+        for &e in &excited {
+            self.mgr.unprotect(e);
         }
 
         // R_I(x,y): stable, gates unchanged, inputs changed.
         let same_gates = self.same(m_inputs..nbits, X, Y);
+        self.mgr.protect(same_gates);
         let same_env = self.same(0..m_inputs, X, Y);
         let diff_env = self.mgr.not(same_env);
-        let mut r_i = self.mgr.and(stable, same_gates);
-        r_i = self.mgr.and(r_i, diff_env);
+        self.mgr.protect(diff_env);
+        let r_i = self.mgr.and(stable, same_gates);
+        self.mgr.unprotect(same_gates);
+        let r_i = self.mgr.and(r_i, diff_env);
+        self.mgr.unprotect(diff_env);
 
         // TCR_k = R_I ∘ R_δ^{k-1} with early fixpoint exit.
         let r_delta_yz = self.mgr.remap(r_delta, &|v| v + 1);
+        self.mgr.protect(r_delta_yz);
+        self.mgr.unprotect(r_delta);
         let yvars: Vec<u32> = (0..nbits as u32).map(|i| 3 * i + Y).collect();
         let mut t = r_i;
+        self.mgr.protect(t);
         for _ in 1..k {
             let t_xz = self.mgr.and_exists(t, r_delta_yz, &yvars);
             let t_next = self.mgr.remap(t_xz, &|v| {
@@ -199,22 +283,36 @@ impl SymbolicCssg {
             if t_next == t {
                 break;
             }
-            t = t_next;
+            // The superseded iterate unroots here — with an auto-GC
+            // threshold set, this is what bounds the TCR loop's memory.
+            t = self.mgr.reroot(t, t_next);
         }
+        self.mgr.unprotect(r_delta_yz);
 
         // Pruning: keep (x,y) with y stable and no sibling z ≠ y sharing
         // y's input pattern.
         let stable_y = self.mgr.remap(stable, &|v| v + 1);
+        self.mgr.protect(stable_y);
+        self.mgr.unprotect(stable);
         let t_xz = self.mgr.remap(t, &|v| if v % 3 == Y { v + 1 } else { v });
+        self.mgr.protect(t_xz);
         let same_env_yz = self.same(0..m_inputs, Y, Z);
+        self.mgr.protect(same_env_yz);
         let same_all_yz = self.same(0..nbits, Y, Z);
         let diff_yz = self.mgr.not(same_all_yz);
         let sibling = self.mgr.and(same_env_yz, diff_yz);
+        self.mgr.unprotect(same_env_yz);
         let zvars: Vec<u32> = (0..nbits as u32).map(|i| 3 * i + Z).collect();
         let bad = self.mgr.and_exists(t_xz, sibling, &zvars);
+        self.mgr.unprotect(t_xz);
         let not_bad = self.mgr.not(bad);
+        self.mgr.protect(not_bad);
         let ok = self.mgr.and(t, stable_y);
-        self.mgr.and(ok, not_bad)
+        self.mgr.unprotect(stable_y);
+        self.mgr.unprotect(t);
+        let valid = self.mgr.and(ok, not_bad);
+        self.mgr.unprotect(not_bad);
+        valid
     }
 
     /// Enumerates the relation into an explicit [`Cssg`], keeping only the
@@ -331,6 +429,48 @@ mod tests {
     #[test]
     fn matches_explicit_on_muller_pipeline() {
         assert_same_cssg(&library::muller_pipeline2());
+    }
+
+    /// A brutally small GC threshold (sweep at nearly every operation)
+    /// must not change the constructed CSSG on any library circuit, and
+    /// must actually reclaim nodes on the non-trivial ones.
+    #[test]
+    fn tiny_gc_threshold_is_semantically_invisible() {
+        let mut reclaimed_anywhere = false;
+        for ckt in library::all() {
+            let immortal = SymbolicCssg::build_with_gc(&ckt, None, None).unwrap();
+            let (gc, stats) = SymbolicCssg::build_inner(&ckt, None, Some(16)).unwrap();
+            assert_eq!(
+                immortal.num_states(),
+                gc.num_states(),
+                "{}: states diverge under GC",
+                ckt.name()
+            );
+            assert_eq!(
+                immortal.num_edges(),
+                gc.num_edges(),
+                "{}: edges diverge under GC",
+                ckt.name()
+            );
+            for si in 0..immortal.num_states() {
+                let state = &immortal.states()[si];
+                let sj = gc.state_index(state).expect("state survives GC");
+                assert_eq!(immortal.edges(si), gc.edges(sj), "{}", ckt.name());
+            }
+            reclaimed_anywhere |= stats.reclaimed > 0;
+        }
+        assert!(reclaimed_anywhere, "threshold 16 must trigger sweeps");
+    }
+
+    /// The default policy bounds the working set: under a small
+    /// threshold the peak unique-table size stays near the threshold
+    /// rather than near the total allocation.
+    #[test]
+    fn gc_bounds_symbolic_working_set() {
+        let ckt = library::muller_pipeline2();
+        let (_, stats) = SymbolicCssg::build_inner(&ckt, None, Some(64)).unwrap();
+        assert!(stats.runs > 0);
+        assert!(stats.reclaimed > 0, "TCR iterates are reclaimed");
     }
 
     #[test]

@@ -47,6 +47,30 @@ impl Default for ThreePhaseConfig {
     }
 }
 
+impl ThreePhaseConfig {
+    /// Limits derived from the circuit size, for workloads beyond the
+    /// bundled paper suite (the `satpg gen` families).
+    ///
+    /// The defaults are tuned to the paper's circuits (≲ 20 gates) and
+    /// abort on larger generated families: the faulty-machine settle set
+    /// grows roughly exponentially with the number of concurrently
+    /// excited gates, so `max_set` scales as `2^(gates/2 + 2)` — matched
+    /// to the observed onset (a 32-gate Muller pipeline first needs
+    /// 2¹⁴) — and the depth/node budgets scale linearly.  Every limit is
+    /// floored at its default, so for paper-sized circuits this is
+    /// exactly [`ThreePhaseConfig::default`].
+    pub fn scaled(ckt: &Circuit) -> Self {
+        let g = ckt.num_gates().max(1);
+        let d = ThreePhaseConfig::default();
+        let set_exp = (g / 2 + 2).clamp(12, 20);
+        ThreePhaseConfig {
+            max_depth: d.max_depth.max(4 * g + 16),
+            max_nodes: d.max_nodes.max(2_000 * g).min(1 << 21),
+            max_set: d.max_set.max(1 << set_exp),
+        }
+    }
+}
+
 /// Why a fault is provably untestable in the synchronous framework.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum UntestableReason {

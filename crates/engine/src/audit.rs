@@ -28,9 +28,10 @@ pub struct WalkAuditor {
     sbits: u32,
     /// Pattern bits (primary inputs).
     pbits: u32,
-    /// The transition relation over (S, P, S').
+    /// The transition relation over (S, P, S'), rooted for the
+    /// auditor's lifetime.
     relation: Bdd,
-    /// Cube of the initial state in the S frame.
+    /// Cube of the initial state in the S frame, also rooted.
     initial: Bdd,
     /// How many times the cache bound was hit.
     pub cache_clears: usize,
@@ -41,16 +42,30 @@ fn bits_for(n: usize) -> u32 {
 }
 
 impl WalkAuditor {
-    /// Builds the relation BDD from the shared CSSG.
+    /// Builds the relation BDD from the shared CSSG with immortal nodes
+    /// (no GC); see [`WalkAuditor::with_gc`] for the bounded-memory
+    /// variant.
     ///
     /// Variable layout: `[0, sbits)` = current state `S`,
     /// `[sbits, sbits+pbits)` = pattern `P`, `[sbits+pbits, 2·sbits+pbits)`
     /// = next state `S'`.
     pub fn new(cssg: &Cssg) -> Self {
+        Self::with_gc(cssg, None)
+    }
+
+    /// Builds the auditor under a GC policy: with `Some(t)`, the private
+    /// manager sweeps unrooted nodes whenever more than `t` are live.
+    /// The relation and initial-state cube are rooted here; `replay`
+    /// roots the rolling reached set, so everything else — per-step
+    /// pattern cubes, constrained sets, pre-rename images — is
+    /// reclaimable the moment the step completes.
+    pub fn with_gc(cssg: &Cssg, gc_threshold: Option<usize>) -> Self {
         let sbits = bits_for(cssg.num_states()).max(1);
         let pbits = cssg.num_inputs() as u32;
         let mut mgr = Manager::new(2 * sbits + pbits);
+        mgr.set_gc_threshold(gc_threshold);
         let mut relation = Bdd::FALSE;
+        mgr.protect(relation);
         for s in 0..cssg.num_states() {
             for &(p, t) in cssg.edges(s) {
                 let mut lits: Vec<(u32, bool)> = Vec::new();
@@ -64,13 +79,15 @@ impl WalkAuditor {
                     lits.push((sbits + pbits + b, t >> b & 1 == 1));
                 }
                 let edge = mgr.cube(&lits);
-                relation = mgr.or(relation, edge);
+                let next = mgr.or(relation, edge);
+                relation = mgr.reroot(relation, next);
             }
         }
         let init_lits: Vec<(u32, bool)> = (0..sbits)
             .map(|b| (b, cssg.initial() >> b & 1 == 1))
             .collect();
         let initial = mgr.cube(&init_lits);
+        mgr.protect(initial);
         WalkAuditor {
             mgr,
             sbits,
@@ -87,7 +104,10 @@ impl WalkAuditor {
     /// would mean the explicit search emitted an invalid test).
     pub fn replay(&mut self, seq: &TestSequence) -> Option<usize> {
         let quantify: Vec<u32> = (0..self.sbits + self.pbits).collect();
+        // The rolling reached set is the only handle held across steps;
+        // root it so the per-step intermediates are free to reclaim.
         let mut reached = self.initial;
+        self.mgr.protect(reached);
         for &p in &seq.patterns {
             let plits: Vec<(u32, bool)> = (0..self.pbits)
                 .map(|b| (self.sbits + b, p >> b & 1 == 1))
@@ -96,16 +116,20 @@ impl WalkAuditor {
             let constrained = self.mgr.and(reached, pcube);
             let img = self.mgr.and_exists(constrained, self.relation, &quantify);
             if img.is_false() {
+                self.mgr.unprotect(reached);
                 return None;
             }
             // Rename S' down into the S frame.
             let shift = self.sbits + self.pbits;
-            reached = self.mgr.remap(img, &|v| v - shift);
+            let next = self.mgr.remap(img, &|v| v - shift);
+            reached = self.mgr.reroot(reached, next);
             if self.mgr.clear_cache_if_above(CACHE_BOUND) {
                 self.cache_clears += 1;
             }
         }
-        Some(self.count_states(reached))
+        let n = self.count_states(reached);
+        self.mgr.unprotect(reached);
+        Some(n)
     }
 
     /// Audits one discovered test: valid iff the symbolic replay
@@ -123,6 +147,26 @@ impl WalkAuditor {
     /// Operation-cache entries of the private manager (telemetry).
     pub fn cache_len(&self) -> usize {
         self.mgr.cache_len()
+    }
+
+    /// Live unique-table entries of the private manager (telemetry).
+    pub fn unique_len(&self) -> usize {
+        self.mgr.unique_len()
+    }
+
+    /// High-water mark of the unique table (telemetry).
+    pub fn peak_unique(&self) -> usize {
+        self.mgr.peak_unique_len()
+    }
+
+    /// GC sweeps the private manager has run (telemetry).
+    pub fn gc_runs(&self) -> usize {
+        self.mgr.gc_stats().runs
+    }
+
+    /// Nodes the private manager has reclaimed (telemetry).
+    pub fn reclaimed_nodes(&self) -> usize {
+        self.mgr.gc_stats().reclaimed
     }
 
     fn count_states(&self, set: Bdd) -> usize {
@@ -180,6 +224,29 @@ mod tests {
                         ckt.name()
                     );
                 }
+            }
+        }
+    }
+
+    /// A GC'd auditor under an absurdly small threshold returns the same
+    /// verdict as an immortal one for every single-step walk, while
+    /// actually reclaiming nodes.
+    #[test]
+    fn gc_auditor_matches_immortal_auditor() {
+        for ckt in library::all() {
+            let cssg = cssg_of(&ckt);
+            let mut plain = WalkAuditor::new(&cssg);
+            let mut gc = WalkAuditor::with_gc(&cssg, Some(16));
+            for s in [cssg.initial()] {
+                for &(p, _) in cssg.edges(s) {
+                    let seq = TestSequence { patterns: vec![p] };
+                    assert_eq!(gc.check(&seq), plain.check(&seq), "{}", ckt.name());
+                }
+            }
+            assert_eq!(plain.gc_runs(), 0, "immortal manager never sweeps");
+            if plain.unique_len() > 16 {
+                assert!(gc.gc_runs() > 0, "{}: tiny threshold sweeps", ckt.name());
+                assert!(gc.unique_len() <= plain.unique_len());
             }
         }
     }

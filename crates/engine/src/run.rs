@@ -25,6 +25,10 @@ pub struct EngineConfig {
     /// Symbolically audit every discovered test on the worker's private
     /// BDD manager.
     pub symbolic_audit: bool,
+    /// Per-worker BDD GC policy: with `Some(t)`, each worker's private
+    /// manager sweeps unrooted nodes whenever more than `t` are live
+    /// (the `--gc-threshold` CLI flag).  `None` keeps nodes immortal.
+    pub gc_threshold: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +38,7 @@ impl Default for EngineConfig {
             workers: 0,
             broadcast: true,
             symbolic_audit: true,
+            gc_threshold: None,
         }
     }
 }
@@ -81,6 +86,12 @@ pub struct WorkerStats {
     pub bdd_cache: usize,
     /// Times the bounded-cache heuristic cleared the cache.
     pub bdd_cache_clears: usize,
+    /// GC sweeps the private manager ran (0 with GC disabled).
+    pub bdd_gc_runs: usize,
+    /// BDD nodes the private manager reclaimed across all sweeps.
+    pub bdd_reclaimed: usize,
+    /// High-water mark of the private manager's unique table.
+    pub bdd_peak_unique: usize,
     /// Wall-clock microseconds the worker was busy.
     pub us_busy: u128,
 }
@@ -238,7 +249,9 @@ fn worker_loop(
         worker: w,
         ..WorkerStats::default()
     };
-    let mut auditor = cfg.symbolic_audit.then(|| WalkAuditor::new(cssg));
+    let mut auditor = cfg
+        .symbolic_audit
+        .then(|| WalkAuditor::with_gc(cssg, cfg.gc_threshold));
     let mut seen_broadcasts = 0usize;
     // Broadcasting only pays off when the merge can harvest the skipped
     // classes as fault-sim credits; with fault_sim off every drop would
@@ -301,6 +314,9 @@ fn worker_loop(
         stats.bdd_nodes = aud.num_nodes();
         stats.bdd_cache = aud.cache_len();
         stats.bdd_cache_clears = aud.cache_clears;
+        stats.bdd_gc_runs = aud.gc_runs();
+        stats.bdd_reclaimed = aud.reclaimed_nodes();
+        stats.bdd_peak_unique = aud.peak_unique();
     }
     stats.us_busy = t0.elapsed().as_micros();
     stats
@@ -376,6 +392,40 @@ mod tests {
         assert_eq!(searched, out.parallel_verdicts);
         for w in &out.workers {
             assert!(w.bdd_nodes >= 2, "auditor built a relation");
+        }
+    }
+
+    #[test]
+    fn gc_pressure_keeps_reports_identical() {
+        // Disable random TPG so every class reaches the workers, then
+        // squeeze the per-worker managers with a tiny GC threshold: the
+        // report must not move, and the sweeps must actually reclaim.
+        let ckt = library::muller_pipeline2();
+        let atpg = AtpgConfig {
+            random: None,
+            ..AtpgConfig::paper()
+        };
+        let serial = run_atpg(&ckt, &atpg).unwrap();
+        for workers in [1, 3] {
+            let out = run_engine(
+                &ckt,
+                &EngineConfig {
+                    atpg: atpg.clone(),
+                    workers,
+                    gc_threshold: Some(16),
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(reports_identical(&out.report, &serial), "{workers} workers");
+            assert_eq!(
+                out.workers.iter().map(|w| w.audit_failures).sum::<usize>(),
+                0
+            );
+            let gc_runs: usize = out.workers.iter().map(|w| w.bdd_gc_runs).sum();
+            let reclaimed: usize = out.workers.iter().map(|w| w.bdd_reclaimed).sum();
+            assert!(gc_runs > 0, "tiny threshold must sweep");
+            assert!(reclaimed > 0, "sweeps must reclaim nodes");
         }
     }
 

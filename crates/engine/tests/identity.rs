@@ -42,6 +42,59 @@ fn engine_matches_serial_on_every_bundled_benchmark() {
     }
 }
 
+/// The same identity must survive aggressive memory pressure: with an
+/// absurdly small per-worker GC threshold every audit operation triggers
+/// sweeps, and the report must stay byte-identical to the serial flow
+/// for every bundled benchmark and every worker count.
+#[test]
+fn engine_matches_serial_under_gc_pressure() {
+    let mut swept_anywhere = false;
+    // Random TPG off: every fault class reaches the workers, so every
+    // worker exercises its GC'd private manager on real audit work.
+    let atpg = AtpgConfig {
+        random: None,
+        ..AtpgConfig::paper()
+    };
+    for &name in suite::NAMES {
+        let ckt = si_circuit(name);
+        let serial = run_atpg(&ckt, &atpg).unwrap();
+        for workers in 1..=4 {
+            let cfg = EngineConfig {
+                atpg: atpg.clone(),
+                workers,
+                gc_threshold: Some(16),
+                ..EngineConfig::default()
+            };
+            let out = run_engine(&ckt, &cfg).unwrap();
+            assert!(
+                reports_identical(&out.report, &serial),
+                "{name}: {workers}-worker report diverges from serial under GC"
+            );
+            let audit_failures: usize = out.workers.iter().map(|w| w.audit_failures).sum();
+            assert_eq!(audit_failures, 0, "{name}: audit rejected a test under GC");
+            for w in &out.workers {
+                // Reclamation telemetry is internally consistent: a
+                // sweeping worker has a peak, and the slab never exceeds
+                // what was ever live at once plus the two terminals.
+                if w.bdd_gc_runs > 0 {
+                    assert!(w.bdd_peak_unique > 0, "{name}: sweeps but no peak");
+                }
+                assert!(
+                    w.bdd_nodes <= w.bdd_peak_unique + 2,
+                    "{name}: slab {} exceeds peak {} + terminals",
+                    w.bdd_nodes,
+                    w.bdd_peak_unique
+                );
+                swept_anywhere |= w.bdd_gc_runs > 0 && w.bdd_reclaimed > 0;
+            }
+        }
+    }
+    assert!(
+        swept_anywhere,
+        "a 16-node threshold must trigger reclamation somewhere in the suite"
+    );
+}
+
 #[test]
 fn engine_matches_serial_under_output_model_and_collapse() {
     for name in ["converta", "master-read", "vbe6a"] {

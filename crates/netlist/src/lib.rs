@@ -39,7 +39,7 @@ pub mod library;
 mod parser;
 
 pub use bits::Bits;
-pub use circuit::{Circuit, CircuitBuilder, GateId, SignalId};
+pub use circuit::{Circuit, CircuitBuilder, Gate, GateId, SignalId};
 pub use error::NetlistError;
 pub use gate::{Cube, GateKind, Literal, Sop};
 pub use parser::{parse_ckt, to_ckt};

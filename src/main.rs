@@ -16,7 +16,7 @@
 
 use satpg::core::report::{format_table, TableRow};
 use satpg::core::tester::TestProgram;
-use satpg::core::{build_cssg, run_atpg, AtpgConfig, CssgConfig, FaultModel};
+use satpg::core::{build_cssg, run_atpg, AtpgConfig, CssgConfig, FaultModel, ThreePhaseConfig};
 use satpg::engine::{run_engine, EngineConfig};
 use satpg::netlist::{parse_ckt, to_ckt, Circuit};
 use satpg::stg::synth::{complex_gate, two_level, Redundancy};
@@ -36,7 +36,8 @@ fn usage() -> ExitCode {
            dot   <bench> [--style si|2l|2lr]\n  \
            gen   <muller|dme|arbiter|seq> [--size K]\n  \
            engine <bench|-> [--style si|2l|2lr] [--k N] [--workers N] [--output-model]\n          \
-                  [--collapse] [--no-random] [--no-broadcast] [--no-audit]"
+                  [--collapse] [--no-random] [--no-broadcast] [--no-audit]\n          \
+                  [--gc-threshold N]  # sweep worker BDDs above N live nodes"
     );
     ExitCode::FAILURE
 }
@@ -53,6 +54,7 @@ struct Opts {
     size: Option<usize>,
     no_broadcast: bool,
     no_audit: bool,
+    gc_threshold: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Option<Opts> {
@@ -68,6 +70,7 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         size: None,
         no_broadcast: false,
         no_audit: false,
+        gc_threshold: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,6 +85,7 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--size" => o.size = Some(it.next()?.parse().ok()?),
             "--no-broadcast" => o.no_broadcast = true,
             "--no-audit" => o.no_audit = true,
+            "--gc-threshold" => o.gc_threshold = Some(it.next()?.parse().ok()?),
             "-" if o.bench.is_none() => o.bench = Some("-".to_string()),
             s if !s.starts_with('-') && o.bench.is_none() => o.bench = Some(s.to_string()),
             _ => return None,
@@ -238,11 +242,12 @@ fn main() -> ExitCode {
                     },
                     collapse: o.collapse,
                     fault_sim: true,
-                    ..Default::default()
+                    three_phase: ThreePhaseConfig::scaled(&ckt),
                 },
                 workers: o.workers,
                 broadcast: !o.no_broadcast,
                 symbolic_audit: !o.no_audit,
+                gc_threshold: o.gc_threshold,
             };
             match run_engine(&ckt, &cfg) {
                 Ok(out) => {
@@ -269,7 +274,7 @@ fn main() -> ExitCode {
                     );
                     for w in &out.workers {
                         println!(
-                            "  worker {}: searched {:>3} (stolen {:>3}), tests {:>3}, drops {:>3}, bdd {} nodes / {} cache ({} clears), busy {} us",
+                            "  worker {}: searched {:>3} (stolen {:>3}), tests {:>3}, drops {:>3}, bdd {} nodes / {} cache ({} clears), gc {} sweeps / {} reclaimed (peak {}), busy {} us",
                             w.worker,
                             w.searched,
                             w.stolen,
@@ -278,6 +283,9 @@ fn main() -> ExitCode {
                             w.bdd_nodes,
                             w.bdd_cache,
                             w.bdd_cache_clears,
+                            w.bdd_gc_runs,
+                            w.bdd_reclaimed,
+                            w.bdd_peak_unique,
                             w.us_busy
                         );
                     }
@@ -356,7 +364,7 @@ fn main() -> ExitCode {
                         },
                         collapse: o.collapse,
                         fault_sim: true,
-                        ..Default::default()
+                        three_phase: ThreePhaseConfig::scaled(&ckt),
                     };
                     match run_atpg(&ckt, &cfg) {
                         Ok(r) => {

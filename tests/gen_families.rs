@@ -1,0 +1,122 @@
+//! Regression tests for `ThreePhaseConfig::scaled`: the generated
+//! benchmark families (`satpg gen muller|dme|arbiter`) must complete
+//! without three-phase aborts at the pinned sizes.
+//!
+//! With the paper-tuned defaults the Muller pipeline first aborts at
+//! size 15 (the faulty-machine settle set outgrows `max_set = 4096`);
+//! the scaled limits lift exactly that. The quick tier pins the largest
+//! sizes that fit a debug-mode test run; the `#[ignore]`d release tier
+//! (run by the CI GC-stress job with `--include-ignored`) pins the
+//! previously-aborting sizes 15 and 16.
+
+use satpg::core::{run_atpg, AtpgConfig, ThreePhaseConfig};
+use satpg::engine::{run_engine, EngineConfig};
+use satpg::netlist::families::{arbiter_tree, muller_pipeline};
+use satpg::netlist::Circuit;
+use satpg::stg::synth::complex_gate;
+use satpg::stg::{families, StateGraph};
+
+fn dme_circuit(cells: usize) -> Circuit {
+    let stg = families::dme_ring(cells).expect("generated ring parses");
+    let sg = StateGraph::build(&stg).expect("ring is well-formed");
+    complex_gate(&stg, &sg).expect("ring synthesizes")
+}
+
+fn assert_no_aborts(ckt: &Circuit) {
+    let report = run_atpg(ckt, &AtpgConfig::scaled(ckt)).unwrap();
+    assert_eq!(
+        report.aborted(),
+        0,
+        "{}: {} of {} faults aborted under scaled limits",
+        ckt.name(),
+        report.aborted(),
+        report.total()
+    );
+    assert_eq!(report.efficiency(), 100.0, "{}", ckt.name());
+}
+
+#[test]
+fn scaled_limits_floor_at_paper_defaults() {
+    // Paper-sized circuits see exactly the default limits, so every
+    // existing result is unchanged by the scaling.
+    let small = satpg::netlist::library::c_element();
+    let d = ThreePhaseConfig::default();
+    let s = ThreePhaseConfig::scaled(&small);
+    assert_eq!(s.max_depth, d.max_depth);
+    assert_eq!(s.max_nodes, d.max_nodes);
+    assert_eq!(s.max_set, d.max_set);
+    // Larger circuits scale monotonically, with max_set unlocked past
+    // the observed muller-15 onset (32 gates -> at least 2^14).
+    let big = muller_pipeline(15);
+    let sb = ThreePhaseConfig::scaled(&big);
+    assert!(sb.max_depth > d.max_depth);
+    assert!(sb.max_nodes > d.max_nodes);
+    assert!(sb.max_set >= 1 << 14, "max_set {} too small", sb.max_set);
+}
+
+#[test]
+fn muller_family_completes_at_size_12() {
+    assert_no_aborts(&muller_pipeline(12));
+}
+
+#[test]
+fn arbiter_family_completes_at_size_6() {
+    assert_no_aborts(&arbiter_tree(6));
+}
+
+#[test]
+fn dme_family_completes_at_size_4() {
+    // Larger rings are release-tier: synthesizing the 5+-cell DME state
+    // graph dominates debug-mode runtime (the ATPG itself is cheap).
+    assert_no_aborts(&dme_circuit(4));
+}
+
+/// The engine sees the same scaled limits (CLI parity) and stays
+/// serial-identical on a generated family with GC-pressured workers.
+#[test]
+fn engine_on_generated_family_with_scaled_limits() {
+    let ckt = muller_pipeline(10);
+    let atpg = AtpgConfig::scaled(&ckt);
+    let serial = run_atpg(&ckt, &atpg).unwrap();
+    assert_eq!(serial.aborted(), 0);
+    let out = run_engine(
+        &ckt,
+        &EngineConfig {
+            atpg,
+            workers: 3,
+            gc_threshold: Some(64),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(satpg::engine::reports_identical(&out.report, &serial));
+}
+
+/// Release-tier pins: the sizes that abort on the defaults must
+/// complete under the scaled limits.  Run via the CI GC-stress job
+/// (`cargo test --release --test gen_families -- --include-ignored`).
+#[test]
+#[ignore = "release-mode tier: several seconds in debug builds"]
+fn muller_family_completes_at_previously_aborting_sizes() {
+    for size in [15usize, 16] {
+        let ckt = muller_pipeline(size);
+        let defaults = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        assert!(
+            defaults.aborted() > 0,
+            "muller-{size} no longer aborts on defaults; move the pin up"
+        );
+        assert_no_aborts(&ckt);
+    }
+}
+
+#[test]
+#[ignore = "release-mode tier: several seconds in debug builds"]
+fn arbiter_family_completes_at_size_7() {
+    assert_no_aborts(&arbiter_tree(7));
+}
+
+#[test]
+#[ignore = "release-mode tier: DME state-graph synthesis is slow in debug"]
+fn dme_family_completes_at_size_6() {
+    assert_no_aborts(&dme_circuit(6));
+}
