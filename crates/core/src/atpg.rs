@@ -100,6 +100,14 @@ pub struct AtpgReport {
     pub cssg_states: usize,
     /// Valid (state, pattern) pairs.
     pub cssg_edges: usize,
+    /// (state, pattern) pairs the abstraction pruned as non-confluent.
+    pub cssg_pruned_nonconfluent: usize,
+    /// (state, pattern) pairs pruned as unstable within `k`.
+    pub cssg_pruned_unstable: usize,
+    /// (state, pattern) pairs dropped at a resource limit rather than by
+    /// a semantic verdict ([`Cssg::pruned_truncated`]): when non-zero,
+    /// "untestable" verdicts may be truncation artifacts.
+    pub cssg_truncated: usize,
     /// Per-fault verdicts, in enumeration order.
     pub records: Vec<FaultRecord>,
     /// The deduplicated test set.

@@ -43,6 +43,13 @@ pub struct Cssg {
     pruned_nonconfluent: usize,
     /// Number pruned for oscillation / settling past `k`.
     pruned_unstable: usize,
+    /// Number of (state, pattern) pairs dropped because a *resource*
+    /// limit truncated their analysis rather than a semantic verdict:
+    /// the explicit builder's interleaving-set cap, or a symbolic TCR
+    /// iteration that ran out of depth before reaching its fixpoint.
+    /// A non-zero count means "untestable" verdicts downstream may be
+    /// truncation artifacts, not real redundancy.
+    pruned_truncated: usize,
 }
 
 impl Cssg {
@@ -55,6 +62,7 @@ impl Cssg {
             edges: Vec::new(),
             pruned_nonconfluent: 0,
             pruned_unstable: 0,
+            pruned_truncated: 0,
         }
     }
 
@@ -88,6 +96,22 @@ impl Cssg {
 
     pub(crate) fn note_unstable(&mut self) {
         self.pruned_unstable += 1;
+    }
+
+    pub(crate) fn note_truncated(&mut self) {
+        self.pruned_truncated += 1;
+    }
+
+    pub(crate) fn note_unstable_n(&mut self, n: usize) {
+        self.pruned_unstable += n;
+    }
+
+    pub(crate) fn note_nonconfluent_n(&mut self, n: usize) {
+        self.pruned_nonconfluent += n;
+    }
+
+    pub(crate) fn note_truncated_n(&mut self, n: usize) {
+        self.pruned_truncated += n;
     }
 
     /// The transition bound `k` used during construction.
@@ -147,6 +171,14 @@ impl Cssg {
     /// How many (state, pattern) pairs were pruned as unstable within `k`.
     pub fn pruned_unstable(&self) -> usize {
         self.pruned_unstable
+    }
+
+    /// How many (state, pattern) pairs were dropped at a resource limit
+    /// (interleaving-set cap or TCR depth exhaustion) rather than by a
+    /// semantic verdict.  The truncation diagnostic for the "coverage
+    /// collapse: truncation vs real redundancy" question.
+    pub fn pruned_truncated(&self) -> usize {
+        self.pruned_truncated
     }
 
     /// Replays a test sequence on the good machine, returning the state

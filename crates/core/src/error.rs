@@ -13,6 +13,8 @@ pub enum CoreError {
     CssgOverflow(usize),
     /// The circuit has more primary inputs than packed patterns support.
     TooManyInputs(usize),
+    /// The circuit has more primary outputs than packed values support.
+    TooManyOutputs(usize),
     /// The circuit has too many state bits for the symbolic encoding.
     TooManyStateBits(usize),
     /// The CSSG has no edges at all: no input vector is valid anywhere,
@@ -29,6 +31,9 @@ impl fmt::Display for CoreError {
             CoreError::CssgOverflow(n) => write!(f, "CSSG exceeded {n} stable states"),
             CoreError::TooManyInputs(n) => {
                 write!(f, "circuit has {n} primary inputs; at most 63 supported")
+            }
+            CoreError::TooManyOutputs(n) => {
+                write!(f, "circuit has {n} primary outputs; at most 64 supported")
             }
             CoreError::TooManyStateBits(n) => {
                 write!(

@@ -59,6 +59,9 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
     if ckt.num_inputs() > 63 {
         return Err(CoreError::TooManyInputs(ckt.num_inputs()));
     }
+    if ckt.outputs().len() > 64 {
+        return Err(CoreError::TooManyOutputs(ckt.outputs().len()));
+    }
     if !ckt.is_stable(ckt.initial_state()) {
         return Err(CoreError::NoStableReset);
     }
@@ -88,7 +91,10 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
                     }
                 }
                 Settle::NonConfluent(_) => cssg.note_nonconfluent(),
-                Settle::Unstable(_) | Settle::Overflow => cssg.note_unstable(),
+                Settle::Unstable(_) => cssg.note_unstable(),
+                // The interleaving set blew its cap: the pair is dropped
+                // without a verdict — a truncation, not a proof.
+                Settle::Overflow => cssg.note_truncated(),
             }
         }
     }

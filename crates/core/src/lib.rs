@@ -31,6 +31,7 @@ mod error;
 mod explicit_cssg;
 mod fault;
 mod fsim;
+pub mod json;
 mod oracle;
 mod random_tpg;
 pub mod report;

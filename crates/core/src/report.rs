@@ -1,6 +1,118 @@
-//! Table formatting in the layout of the paper's Tables 1 and 2.
+//! Report rendering: the paper's Tables 1–2 layout, plus the
+//! machine-readable JSON form consumed by `--json` CLI output, the CI
+//! smoke checks and the `satpg-serve` wire protocol.
 
 use crate::atpg::{AtpgReport, Phase};
+use crate::json::Json;
+
+impl Phase {
+    /// Stable wire-format name of the phase.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Phase::Random => "random",
+            Phase::ThreePhase => "three_phase",
+            Phase::FaultSim => "fault_sim",
+        }
+    }
+}
+
+impl AtpgReport {
+    /// The machine-readable form of the report.
+    ///
+    /// With `include_timing` off the result is a pure function of the
+    /// verdicts — byte-identical across serial and parallel drivers and
+    /// across repeated runs, which is what the service tests and the CI
+    /// smoke compare.  With it on, the wall-clock attribution is
+    /// appended under `"timing_us"`.
+    pub fn to_json_value(&self, include_timing: bool) -> Json {
+        let records: Vec<Json> = self
+            .records
+            .iter()
+            .map(|r| {
+                let mut m = vec![("fault".to_string(), Json::str(r.fault.to_string()))];
+                let status = if let Some(phase) = r.detected_by {
+                    m.push(("phase".to_string(), Json::str(phase.wire_name())));
+                    m.push(("test".to_string(), Json::int(r.test.unwrap_or(0))));
+                    "detected"
+                } else if r.untestable {
+                    "untestable"
+                } else if r.aborted {
+                    "aborted"
+                } else {
+                    "open"
+                };
+                m.insert(1, ("status".to_string(), Json::str(status)));
+                Json::Obj(m)
+            })
+            .collect();
+        let tests: Vec<Json> = self
+            .tests
+            .iter()
+            .map(|t| Json::Arr(t.patterns.iter().map(|&p| Json::int(p)).collect()))
+            .collect();
+        let mut out = vec![
+            ("circuit".to_string(), Json::str(&self.circuit)),
+            (
+                "cssg".to_string(),
+                Json::Obj(vec![
+                    ("states".to_string(), Json::int(self.cssg_states)),
+                    ("edges".to_string(), Json::int(self.cssg_edges)),
+                    (
+                        "pruned_nonconfluent".to_string(),
+                        Json::int(self.cssg_pruned_nonconfluent),
+                    ),
+                    (
+                        "pruned_unstable".to_string(),
+                        Json::int(self.cssg_pruned_unstable),
+                    ),
+                    ("truncated".to_string(), Json::int(self.cssg_truncated)),
+                ]),
+            ),
+            (
+                "totals".to_string(),
+                Json::Obj(vec![
+                    ("faults".to_string(), Json::int(self.total())),
+                    ("detected".to_string(), Json::int(self.covered())),
+                    ("untestable".to_string(), Json::int(self.untestable())),
+                    ("aborted".to_string(), Json::int(self.aborted())),
+                    (
+                        "random".to_string(),
+                        Json::int(self.covered_by(Phase::Random)),
+                    ),
+                    (
+                        "three_phase".to_string(),
+                        Json::int(self.covered_by(Phase::ThreePhase)),
+                    ),
+                    (
+                        "fault_sim".to_string(),
+                        Json::int(self.covered_by(Phase::FaultSim)),
+                    ),
+                ]),
+            ),
+            ("coverage_pct".to_string(), Json::Float(self.coverage())),
+            ("efficiency_pct".to_string(), Json::Float(self.efficiency())),
+            ("tests".to_string(), Json::Arr(tests)),
+            ("records".to_string(), Json::Arr(records)),
+        ];
+        if include_timing {
+            out.push((
+                "timing_us".to_string(),
+                Json::Obj(vec![
+                    ("cssg".to_string(), Json::int(self.us_cssg)),
+                    ("random".to_string(), Json::int(self.us_random)),
+                    ("three_phase".to_string(), Json::int(self.us_three_phase)),
+                    ("total".to_string(), Json::int(self.us_total())),
+                ]),
+            ));
+        }
+        Json::Obj(out)
+    }
+
+    /// [`AtpgReport::to_json_value`] with timing, rendered on one line.
+    pub fn to_json(&self) -> String {
+        self.to_json_value(true).render()
+    }
+}
 
 /// One row of a results table: the columns of Tables 1–2.
 #[derive(Clone, Debug)]
@@ -116,5 +228,33 @@ mod tests {
         assert!(table.contains("celement"));
         assert!(table.contains("Total FC"));
         assert!(table.contains("100.00%"));
+    }
+
+    #[test]
+    fn json_report_round_trips_and_is_deterministic() {
+        let ckt = library::c_element();
+        let report = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        let v = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("circuit").unwrap().as_str(), Some("celement"));
+        assert_eq!(
+            v.get("totals").unwrap().get("faults").unwrap().as_usize(),
+            Some(report.total())
+        );
+        assert_eq!(
+            v.get("cssg").unwrap().get("states").unwrap().as_usize(),
+            Some(report.cssg_states)
+        );
+        assert!(v.get("cssg").unwrap().get("truncated").is_some());
+        assert_eq!(
+            v.get("records").unwrap().as_arr().unwrap().len(),
+            report.total()
+        );
+        assert!(v.get("timing_us").is_some());
+        // The timing-free form is byte-stable across re-serialization
+        // and carries no wall-clock fields.
+        let a = report.to_json_value(false).render();
+        let b = report.clone().to_json_value(false).render();
+        assert_eq!(a, b);
+        assert!(!a.contains("timing_us"));
     }
 }

@@ -275,6 +275,9 @@ pub fn assemble_report(
         circuit: ckt.name().to_string(),
         cssg_states: cssg.num_states(),
         cssg_edges: cssg.num_edges(),
+        cssg_pruned_nonconfluent: cssg.pruned_nonconfluent(),
+        cssg_pruned_unstable: cssg.pruned_unstable(),
+        cssg_truncated: cssg.pruned_truncated(),
         records,
         tests: state.tests,
         us_cssg: timings.us_cssg,

@@ -53,6 +53,18 @@ pub struct SymbolicCssg {
     m: usize,
 }
 
+/// The relations the construction hands from [`SymbolicCssg::valid_relation`]
+/// to the extraction pass.  `valid` is the pruned CSSG relation; `tcr` and
+/// `stable_y` are kept alive so extraction can classify the pruned pairs.
+struct Relations {
+    valid: Bdd,
+    tcr: Bdd,
+    stable_y: Bdd,
+    /// The TCR iteration exhausted its `k-1` steps without reaching a
+    /// fixpoint: unstable-at-`k` pairs may be truncation artifacts.
+    depth_limited: bool,
+}
+
 impl SymbolicCssg {
     /// Builds the CSSG of `ckt` symbolically with transition bound `k`
     /// (default `4·gates + 4`), under the default memory policy
@@ -70,15 +82,32 @@ impl SymbolicCssg {
     /// every node immortal, `Some(t)` sweeps unrooted nodes whenever the
     /// unique table exceeds `t` entries.
     pub fn build_with_gc(ckt: &Circuit, k: Option<usize>, gc: Option<usize>) -> Result<Cssg> {
-        Ok(Self::build_inner(ckt, k, gc)?.0)
+        Ok(Self::construct(ckt, k, gc, false)?.0)
     }
 
-    /// The full construction, also returning the manager's GC telemetry
-    /// (exposed for tests and benches).
+    /// [`SymbolicCssg::build_with_gc`] plus the pruning/truncation
+    /// diagnostics ([`Cssg::pruned_nonconfluent`] and friends).  The
+    /// classification costs an explicit-style enumeration pass over the
+    /// reachable states, so the plain builders skip it.
+    pub fn build_diagnostic(ckt: &Circuit, k: Option<usize>, gc: Option<usize>) -> Result<Cssg> {
+        Ok(Self::construct(ckt, k, gc, true)?.0)
+    }
+
+    /// The full construction with diagnostics, also returning the
+    /// manager's GC telemetry (exposed for tests and benches).
     pub fn build_inner(
         ckt: &Circuit,
         k: Option<usize>,
         gc: Option<usize>,
+    ) -> Result<(Cssg, satpg_bdd::GcStats)> {
+        Self::construct(ckt, k, gc, true)
+    }
+
+    fn construct(
+        ckt: &Circuit,
+        k: Option<usize>,
+        gc: Option<usize>,
+        diagnose: bool,
     ) -> Result<(Cssg, satpg_bdd::GcStats)> {
         let nbits = ckt.num_state_bits();
         if nbits > 32 {
@@ -95,10 +124,15 @@ impl SymbolicCssg {
             nbits,
             m: ckt.num_inputs(),
         };
-        let valid = s.valid_relation(ckt, k);
-        s.mgr.protect(valid);
-        let cssg = s.extract(ckt, valid, k)?;
-        s.mgr.unprotect(valid);
+        let rel = s.valid_relation(ckt, k);
+        s.mgr.protect(rel.valid);
+        let mut cssg = s.extract(ckt, &rel, k)?;
+        if diagnose {
+            s.count_pruned(&mut cssg, &rel);
+        }
+        s.mgr.unprotect(rel.valid);
+        s.mgr.unprotect(rel.tcr);
+        s.mgr.unprotect(rel.stable_y);
         Ok((cssg, s.mgr.gc_stats()))
     }
 
@@ -211,7 +245,7 @@ impl SymbolicCssg {
     /// span it is needed, so an auto-GC sweep at any operation boundary
     /// reclaims precisely the superseded intermediates (most notably the
     /// dead TCR iterates, the dominant allocation on large circuits).
-    fn valid_relation(&mut self, ckt: &Circuit, k: usize) -> Bdd {
+    fn valid_relation(&mut self, ckt: &Circuit, k: usize) -> Relations {
         let nbits = self.nbits;
         let m_inputs = self.m;
         // Excitation and stability over X.
@@ -271,6 +305,7 @@ impl SymbolicCssg {
         let yvars: Vec<u32> = (0..nbits as u32).map(|i| 3 * i + Y).collect();
         let mut t = r_i;
         self.mgr.protect(t);
+        let mut fixpoint = false;
         for _ in 1..k {
             let t_xz = self.mgr.and_exists(t, r_delta_yz, &yvars);
             let t_next = self.mgr.remap(t_xz, &|v| {
@@ -281,6 +316,7 @@ impl SymbolicCssg {
                 }
             });
             if t_next == t {
+                fixpoint = true;
                 break;
             }
             // The superseded iterate unroots here — with an auto-GC
@@ -308,22 +344,30 @@ impl SymbolicCssg {
         let not_bad = self.mgr.not(bad);
         self.mgr.protect(not_bad);
         let ok = self.mgr.and(t, stable_y);
-        self.mgr.unprotect(stable_y);
-        self.mgr.unprotect(t);
         let valid = self.mgr.and(ok, not_bad);
         self.mgr.unprotect(not_bad);
-        valid
+        // `t` and `stable_y` stay protected: the extraction pass reuses
+        // them for the pruning diagnostics and unprotects them afterward.
+        Relations {
+            valid,
+            tcr: t,
+            stable_y,
+            depth_limited: !fixpoint,
+        }
     }
 
     /// Enumerates the relation into an explicit [`Cssg`], keeping only the
-    /// part reachable from the reset state.
-    fn extract(&mut self, ckt: &Circuit, valid: Bdd, k: usize) -> Result<Cssg> {
+    /// part reachable from the reset state, then classifies the pruned
+    /// (state, pattern) pairs of every reachable state so the symbolic
+    /// construction reports the same pruning/truncation diagnostics as
+    /// the explicit one.
+    fn extract(&mut self, ckt: &Circuit, rel: &Relations, k: usize) -> Result<Cssg> {
         let nbits = self.nbits;
         // All edges (x→y) as packed pairs.
         let vars: Vec<u32> = (0..nbits as u32)
             .flat_map(|i| [3 * i + X, 3 * i + Y])
             .collect();
-        let models = self.mgr.models_packed(valid, &vars);
+        let models = self.mgr.models_packed(rel.valid, &vars);
         use std::collections::HashMap;
         let mut edges: HashMap<Bits, Vec<Bits>> = HashMap::new();
         for w in models {
@@ -357,6 +401,44 @@ impl SymbolicCssg {
         cssg.sort_edges();
         Ok(cssg)
     }
+
+    /// Per reachable state: classify every environment pattern the TCR
+    /// reaches but the validated relation dropped.  A pattern with an
+    /// unstable-at-`k` endpoint counts as pruned-unstable (and as
+    /// truncated when the TCR ran out of depth before its fixpoint — the
+    /// drop may then be an artifact, not a proof); the remaining dropped
+    /// patterns had several stable endpoints, i.e. a critical race.
+    fn count_pruned(&mut self, cssg: &mut Cssg, rel: &Relations) {
+        let nbits = self.nbits;
+        let env_y: Vec<u32> = (0..self.m as u32).map(|i| 3 * i + Y).collect();
+        let gate_y: Vec<u32> = (self.m..nbits).map(|i| 3 * i as u32 + Y).collect();
+        let not_stable_y = self.mgr.not(rel.stable_y);
+        self.mgr.protect(not_stable_y);
+        for si in 0..cssg.num_states() {
+            let state = cssg.states()[si].clone();
+            let mut t_x = rel.tcr;
+            self.mgr.protect(t_x);
+            for bit in 0..nbits {
+                let r = self.mgr.restrict(t_x, 3 * bit as u32 + X, state.get(bit));
+                t_x = self.mgr.reroot(t_x, r);
+            }
+            let all_pats = self.mgr.exists(t_x, &gate_y);
+            self.mgr.protect(all_pats);
+            let unstable_part = self.mgr.and(t_x, not_stable_y);
+            let unstable_pats = self.mgr.exists(unstable_part, &gate_y);
+            let reached = self.mgr.models_packed(all_pats, &env_y).len();
+            let unstable = self.mgr.models_packed(unstable_pats, &env_y).len();
+            self.mgr.unprotect(all_pats);
+            self.mgr.unprotect(t_x);
+            let valid = cssg.edges(si).len();
+            cssg.note_unstable_n(unstable);
+            cssg.note_nonconfluent_n(reached.saturating_sub(unstable + valid));
+            if rel.depth_limited {
+                cssg.note_truncated_n(unstable);
+            }
+        }
+        self.mgr.unprotect(not_stable_y);
+    }
 }
 
 #[cfg(test)]
@@ -373,7 +455,8 @@ mod tests {
             ..CssgConfig::default()
         };
         let explicit = build_cssg(ckt, &cfg).unwrap();
-        let symbolic = SymbolicCssg::build(ckt, None).unwrap();
+        let symbolic =
+            SymbolicCssg::build_diagnostic(ckt, None, Some(DEFAULT_GC_THRESHOLD)).unwrap();
         assert_eq!(
             explicit.num_states(),
             symbolic.num_states(),
@@ -404,6 +487,29 @@ mod tests {
                 .collect();
             assert_eq!(ee, se, "{}: edges of {state}", ckt.name());
         }
+        // The pruning diagnostics must agree too: both constructions
+        // classify every (reachable state, pattern) drop the same way.
+        assert_eq!(
+            explicit.pruned_nonconfluent(),
+            symbolic.pruned_nonconfluent(),
+            "{}: non-confluent counts",
+            ckt.name()
+        );
+        assert_eq!(
+            explicit.pruned_unstable(),
+            symbolic.pruned_unstable(),
+            "{}: unstable counts",
+            ckt.name()
+        );
+        assert_eq!(explicit.pruned_truncated(), 0, "{}", ckt.name());
+        // The symbolic truncation diagnostic is conservative: a circuit
+        // whose TCR cycles without a fixpoint (a genuine oscillator)
+        // flags its unstable pairs as possibly-truncated.
+        assert!(
+            symbolic.pruned_truncated() <= symbolic.pruned_unstable(),
+            "{}",
+            ckt.name()
+        );
     }
 
     #[test]
@@ -471,6 +577,21 @@ mod tests {
         let (_, stats) = SymbolicCssg::build_inner(&ckt, None, Some(64)).unwrap();
         assert!(stats.runs > 0);
         assert!(stats.reclaimed > 0, "TCR iterates are reclaimed");
+    }
+
+    #[test]
+    fn plain_build_skips_the_diagnostics_pass() {
+        let ckt = library::c_element();
+        let plain = SymbolicCssg::build(&ckt, None).unwrap();
+        assert_eq!(
+            plain.pruned_nonconfluent() + plain.pruned_unstable() + plain.pruned_truncated(),
+            0,
+            "plain builds skip the enumeration pass"
+        );
+        let diag = SymbolicCssg::build_diagnostic(&ckt, None, None).unwrap();
+        assert!(diag.pruned_nonconfluent() > 0, "diagnostics classify drops");
+        assert_eq!(plain.num_states(), diag.num_states());
+        assert_eq!(plain.num_edges(), diag.num_edges());
     }
 
     #[test]

@@ -45,5 +45,6 @@ mod run;
 pub mod shard;
 
 pub use run::{
-    reports_identical, run_engine, run_engine_on, EngineConfig, EngineReport, WorkerStats,
+    reports_identical, run_engine, run_engine_on, run_engine_on_streaming, run_engine_streaming,
+    EngineConfig, EngineEvent, EngineReport, EngineSink, NullSink, WorkerStats,
 };

@@ -2,6 +2,7 @@
 
 use crate::audit::WalkAuditor;
 use crate::shard::{Popped, ShardedQueues};
+use satpg_core::json::Json;
 use satpg_core::stages::{random_stage, targeted_stage, FaultPlan, StageState};
 use satpg_core::{
     build_cssg, input_stuck_faults, output_stuck_faults, three_phase, AtpgConfig, AtpgReport,
@@ -10,6 +11,78 @@ use satpg_core::{
 use satpg_netlist::Circuit;
 use std::sync::{OnceLock, RwLock};
 use std::time::Instant;
+
+/// Incremental engine telemetry, emitted through an [`EngineSink`] as a
+/// campaign advances.  Events from the parallel stage ([`TestFound`],
+/// [`WorkerDone`]) arrive in completion order, which varies run to run;
+/// the stage-transition events are totally ordered.
+///
+/// [`TestFound`]: EngineEvent::TestFound
+/// [`WorkerDone`]: EngineEvent::WorkerDone
+#[derive(Clone, Debug)]
+pub enum EngineEvent {
+    /// The CSSG abstraction is available (built or supplied by a cache).
+    CssgReady {
+        /// Stable states.
+        states: usize,
+        /// Valid (state, pattern) edges.
+        edges: usize,
+        /// (state, pattern) pairs dropped at a resource limit.
+        truncated: usize,
+        /// Microseconds spent constructing (0 on a cache hit).
+        us: u128,
+    },
+    /// The random-TPG stage finished.
+    RandomDone {
+        /// Fault classes it resolved.
+        resolved: usize,
+        /// Microseconds spent.
+        us: u128,
+    },
+    /// The parallel three-phase stage is starting.
+    ParallelStarted {
+        /// Worker threads spawned.
+        workers: usize,
+        /// Open classes they will target.
+        pending: usize,
+    },
+    /// A worker discovered a test (before broadcast).
+    TestFound {
+        /// The discovering worker.
+        worker: usize,
+        /// The targeted class index.
+        class: usize,
+        /// Test length in cycles.
+        cycles: usize,
+    },
+    /// A worker drained its queue and exited.
+    WorkerDone {
+        /// Its final telemetry (BDD nodes, GC sweeps/reclaimed/peak, …).
+        stats: WorkerStats,
+    },
+    /// The deterministic merge finished; the report follows.
+    MergeDone {
+        /// Classes re-searched serially.
+        fallbacks: usize,
+        /// Microseconds spent merging.
+        us: u128,
+    },
+}
+
+/// A consumer of [`EngineEvent`]s.  Implementations must be `Sync`:
+/// workers emit from the scoped threads of the parallel stage.
+pub trait EngineSink: Sync {
+    /// Receives one event.  Called synchronously on the emitting thread;
+    /// implementations should hand off quickly (e.g. into a channel).
+    fn event(&self, ev: EngineEvent);
+}
+
+/// The do-nothing sink behind the non-streaming entry points.
+pub struct NullSink;
+
+impl EngineSink for NullSink {
+    fn event(&self, _ev: EngineEvent) {}
+}
 
 /// Configuration of a fault-parallel campaign.
 #[derive(Clone, Debug)]
@@ -96,6 +169,37 @@ pub struct WorkerStats {
     pub us_busy: u128,
 }
 
+impl WorkerStats {
+    /// The machine-readable form (used by `--json` output and the
+    /// service telemetry stream).
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("worker".to_string(), Json::int(self.worker)),
+            ("searched".to_string(), Json::int(self.searched)),
+            ("stolen".to_string(), Json::int(self.stolen)),
+            ("tests_found".to_string(), Json::int(self.tests_found)),
+            (
+                "broadcast_drops".to_string(),
+                Json::int(self.broadcast_drops),
+            ),
+            ("audit_failures".to_string(), Json::int(self.audit_failures)),
+            ("bdd_nodes".to_string(), Json::int(self.bdd_nodes)),
+            ("bdd_cache".to_string(), Json::int(self.bdd_cache)),
+            (
+                "bdd_cache_clears".to_string(),
+                Json::int(self.bdd_cache_clears),
+            ),
+            ("bdd_gc_runs".to_string(), Json::int(self.bdd_gc_runs)),
+            ("bdd_reclaimed".to_string(), Json::int(self.bdd_reclaimed)),
+            (
+                "bdd_peak_unique".to_string(),
+                Json::int(self.bdd_peak_unique),
+            ),
+            ("us_busy".to_string(), Json::int(self.us_busy)),
+        ])
+    }
+}
+
 /// The campaign result: a serial-identical report plus parallel telemetry.
 #[derive(Clone, Debug)]
 pub struct EngineReport {
@@ -116,6 +220,38 @@ pub struct EngineReport {
     pub us_merge: u128,
 }
 
+impl EngineReport {
+    /// The machine-readable form: the serializable report plus the
+    /// parallel-driver telemetry under `"engine"`.
+    pub fn to_json_value(&self, include_timing: bool) -> Json {
+        let mut engine = vec![
+            (
+                "workers".to_string(),
+                Json::Arr(self.workers.iter().map(|w| w.to_json_value()).collect()),
+            ),
+            (
+                "parallel_verdicts".to_string(),
+                Json::int(self.parallel_verdicts),
+            ),
+            (
+                "merge_fallbacks".to_string(),
+                Json::int(self.merge_fallbacks),
+            ),
+        ];
+        if include_timing {
+            engine.push(("us_parallel".to_string(), Json::int(self.us_parallel)));
+            engine.push(("us_merge".to_string(), Json::int(self.us_merge)));
+        }
+        Json::Obj(vec![
+            (
+                "report".to_string(),
+                self.report.to_json_value(include_timing),
+            ),
+            ("engine".to_string(), Json::Obj(engine)),
+        ])
+    }
+}
+
 /// Runs the fault-parallel campaign on `ckt`.
 ///
 /// # Errors
@@ -123,6 +259,19 @@ pub struct EngineReport {
 /// Same conditions as [`satpg_core::run_atpg`]: CSSG construction
 /// failures or an abstraction with no valid vectors.
 pub fn run_engine(ckt: &Circuit, cfg: &EngineConfig) -> Result<EngineReport, CoreError> {
+    run_engine_streaming(ckt, cfg, &NullSink)
+}
+
+/// [`run_engine`] with incremental telemetry delivered to `sink`.
+///
+/// # Errors
+///
+/// Same conditions as [`run_engine`].
+pub fn run_engine_streaming(
+    ckt: &Circuit,
+    cfg: &EngineConfig,
+    sink: &dyn EngineSink,
+) -> Result<EngineReport, CoreError> {
     let t0 = Instant::now();
     let cssg = build_cssg(ckt, &cfg.atpg.cssg)?;
     let us_cssg = t0.elapsed().as_micros();
@@ -133,7 +282,9 @@ pub fn run_engine(ckt: &Circuit, cfg: &EngineConfig) -> Result<EngineReport, Cor
         FaultModel::InputStuckAt => input_stuck_faults(ckt),
         FaultModel::OutputStuckAt => output_stuck_faults(ckt),
     };
-    Ok(run_engine_on(ckt, &cssg, &faults, cfg, us_cssg))
+    Ok(run_engine_on_streaming(
+        ckt, &cssg, &faults, cfg, us_cssg, sink,
+    ))
 }
 
 /// Runs the campaign against an explicit fault list and prebuilt CSSG
@@ -145,6 +296,26 @@ pub fn run_engine_on(
     cfg: &EngineConfig,
     us_cssg: u128,
 ) -> EngineReport {
+    run_engine_on_streaming(ckt, cssg, faults, cfg, us_cssg, &NullSink)
+}
+
+/// [`run_engine_on`] with incremental telemetry delivered to `sink`.
+/// `us_cssg` is the construction time to attribute to the abstraction
+/// (pass 0 when it came from a cache).
+pub fn run_engine_on_streaming(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    faults: &[Fault],
+    cfg: &EngineConfig,
+    us_cssg: u128,
+    sink: &dyn EngineSink,
+) -> EngineReport {
+    sink.event(EngineEvent::CssgReady {
+        states: cssg.num_states(),
+        edges: cssg.num_edges(),
+        truncated: cssg.pruned_truncated(),
+        us: us_cssg,
+    });
     let plan = FaultPlan::new(ckt, faults, cfg.atpg.collapse);
     let mut state = StageState::new(plan.len());
 
@@ -158,6 +329,10 @@ pub fn run_engine_on(
 
     // --- Stage 2 (parallel): precompute three-phase verdicts. ---
     let pending = state.open_classes();
+    sink.event(EngineEvent::RandomDone {
+        resolved: plan.len() - pending.len(),
+        us: us_random,
+    });
     let workers = cfg.effective_workers(pending.len());
     let queues = ShardedQueues::new(workers, &pending);
     let outcomes: Vec<OnceLock<FaultStatus>> = (0..plan.len()).map(|_| OnceLock::new()).collect();
@@ -167,6 +342,10 @@ pub fn run_engine_on(
     let worker_stats: Vec<WorkerStats> = if pending.is_empty() {
         Vec::new()
     } else {
+        sink.event(EngineEvent::ParallelStarted {
+            workers,
+            pending: pending.len(),
+        });
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
@@ -175,7 +354,13 @@ pub fn run_engine_on(
                     let broadcasts = &broadcasts;
                     let plan = &plan;
                     scope.spawn(move || {
-                        worker_loop(ckt, cssg, plan, cfg, w, queues, outcomes, broadcasts)
+                        let stats = worker_loop(
+                            ckt, cssg, plan, cfg, w, queues, outcomes, broadcasts, sink,
+                        );
+                        sink.event(EngineEvent::WorkerDone {
+                            stats: stats.clone(),
+                        });
+                        stats
                     })
                 })
                 .collect();
@@ -210,6 +395,10 @@ pub fn run_engine_on(
         },
     );
     let us_merge = t3.elapsed().as_micros();
+    sink.event(EngineEvent::MergeDone {
+        fallbacks: merge_fallbacks,
+        us: us_merge,
+    });
 
     let report = satpg_core::stages::assemble_report(
         ckt,
@@ -243,6 +432,7 @@ fn worker_loop(
     queues: &ShardedQueues,
     outcomes: &[OnceLock<FaultStatus>],
     broadcasts: &RwLock<Vec<(usize, TestSequence)>>,
+    sink: &dyn EngineSink,
 ) -> WorkerStats {
     let t0 = Instant::now();
     let mut stats = WorkerStats {
@@ -294,6 +484,11 @@ fn worker_loop(
         stats.searched += 1;
         if let FaultStatus::Detected { sequence } = &verdict {
             stats.tests_found += 1;
+            sink.event(EngineEvent::TestFound {
+                worker: w,
+                class: ci,
+                cycles: sequence.len(),
+            });
             if let Some(aud) = auditor.as_mut() {
                 if !aud.check(sequence) {
                     stats.audit_failures += 1;
@@ -427,6 +622,65 @@ mod tests {
             assert!(gc_runs > 0, "tiny threshold must sweep");
             assert!(reclaimed > 0, "sweeps must reclaim nodes");
         }
+    }
+
+    #[test]
+    fn sink_sees_stages_workers_and_tests() {
+        use std::sync::Mutex;
+        struct Collect(Mutex<Vec<EngineEvent>>);
+        impl EngineSink for Collect {
+            fn event(&self, ev: EngineEvent) {
+                self.0.lock().unwrap().push(ev);
+            }
+        }
+        let ckt = library::muller_pipeline2();
+        let cfg = EngineConfig {
+            workers: 2,
+            ..EngineConfig::paper()
+        };
+        let sink = Collect(Mutex::new(Vec::new()));
+        let out = run_engine_streaming(&ckt, &cfg, &sink).unwrap();
+        let events = sink.0.into_inner().unwrap();
+
+        // Stage transitions appear exactly once, in order.
+        let stage_order: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::CssgReady { .. } => Some("cssg"),
+                EngineEvent::RandomDone { .. } => Some("random"),
+                EngineEvent::ParallelStarted { .. } => Some("parallel"),
+                EngineEvent::MergeDone { .. } => Some("merge"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stage_order, ["cssg", "random", "parallel", "merge"]);
+        match events.first() {
+            Some(EngineEvent::CssgReady { states, edges, .. }) => {
+                assert_eq!(*states, out.report.cssg_states);
+                assert_eq!(*edges, out.report.cssg_edges);
+            }
+            other => panic!("expected CssgReady first, got {other:?}"),
+        }
+        // Every worker reports once; per-worker stats match the report.
+        let done: Vec<&WorkerStats> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::WorkerDone { stats } => Some(stats),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done.len(), out.workers.len());
+        let found: usize = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::TestFound { .. }))
+            .count();
+        assert_eq!(
+            found,
+            out.workers.iter().map(|w| w.tests_found).sum::<usize>()
+        );
+        // Streaming must not perturb the verdicts.
+        let serial = run_atpg(&ckt, &cfg.atpg).unwrap();
+        assert!(reports_identical(&out.report, &serial));
     }
 
     #[test]

@@ -175,20 +175,21 @@ fn parse_kind(ln: usize, func: &str, args: &str) -> Result<GateKind> {
         "one" => GateKind::Const(true),
         "sop" => {
             let order = split_args("sop", args);
-            let pin_of = |n: &str| order.iter().position(|x| x == n).expect("seen above");
             let mut cubes = Vec::new();
             for cube_src in args.split('|') {
                 let mut lits = Vec::new();
-                for tok in cube_src.split([',', ' ']).filter(|t| !t.trim().is_empty()) {
-                    let tok = tok.trim();
+                // Tokenization must match `split_args` exactly (commas
+                // plus any whitespace), or pin lookup would miss.
+                for tok in cube_src.split(',').flat_map(str::split_whitespace) {
                     let (name, pos) = match tok.strip_prefix('!') {
                         Some(n) => (n, false),
                         None => (tok, true),
                     };
-                    lits.push(Literal {
-                        pin: pin_of(name),
-                        positive: pos,
-                    });
+                    let pin = order
+                        .iter()
+                        .position(|x| x == name)
+                        .ok_or_else(|| err(ln, format!("bad SOP literal `{tok}`")))?;
+                    lits.push(Literal { pin, positive: pos });
                 }
                 if lits.is_empty() {
                     return Err(err(ln, "empty SOP cube"));

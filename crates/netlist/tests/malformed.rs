@@ -1,0 +1,100 @@
+//! Malformed-input battery for the `.ckt` parser: untrusted text must
+//! produce line-numbered `Err`s, never panic (the service daemon feeds
+//! it raw client bytes).
+
+use satpg_netlist::{library, parse_ckt, to_ckt, NetlistError};
+
+#[test]
+fn library_circuits_survive_line_truncation() {
+    for ckt in library::all() {
+        let src = to_ckt(&ckt);
+        let lines: Vec<&str> = src.lines().collect();
+        for cut in 0..lines.len() {
+            let truncated = lines[..cut].join("\n");
+            match parse_ckt(&truncated) {
+                Ok(_) => {}
+                Err(NetlistError::Parse { line, .. }) => {
+                    assert!(line >= 1, "{}@{cut}", ckt.name());
+                }
+                Err(_) => {} // semantic construction errors are fine
+            }
+        }
+    }
+}
+
+#[test]
+fn byte_truncation_never_panics() {
+    let src = to_ckt(&library::muller_pipeline2());
+    for cut in 0..src.len() {
+        if src.is_char_boundary(cut) {
+            let _ = parse_ckt(&src[..cut]);
+        }
+    }
+}
+
+#[test]
+fn sop_literal_abuse_errors_instead_of_panicking() {
+    // Regression: tab-separated SOP literals used to tokenize
+    // differently in the pin table and the cube walk, panicking on the
+    // lookup; a bare `!` produced an empty literal name with the same
+    // effect.
+    for src in [
+        "circuit t\ninputs A:a B:b\noutputs y\ngate y = sop(a\tb)\n",
+        "circuit t\ninputs A:a\noutputs y\ngate y = sop(!)\n",
+        "circuit t\ninputs A:a\noutputs y\ngate y = sop(a | !)\n",
+        "circuit t\ninputs A:a\noutputs y\ngate y = sop(!!a)\n",
+    ] {
+        match parse_ckt(src) {
+            // The tab form is actually legal once tokenization agrees.
+            Ok(c) => assert_eq!(c.name(), "t"),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(!msg.is_empty());
+            }
+        }
+    }
+    // And the tab form specifically must parse like the space form.
+    let tabbed = parse_ckt("circuit t\ninputs A:a B:b\noutputs y\ngate y = sop(a\tb)\n").unwrap();
+    let spaced = parse_ckt("circuit t\ninputs A:a B:b\noutputs y\ngate y = sop(a b)\n").unwrap();
+    assert_eq!(to_ckt(&tabbed), to_ckt(&spaced));
+}
+
+#[test]
+fn hostile_fragments_error_with_locations() {
+    let cases = [
+        ("circuit\n", 1),
+        ("circuit x\nfrob y\n", 2),
+        ("circuit x\ngate y not(a)\n", 2),
+        ("circuit x\ngate y = not(a\n", 2),
+        ("circuit x\ngate y = frob(a)\n", 2),
+        ("circuit x\ngate y = sop()\n", 2),
+        ("circuit x\ngate y = sop(a | )\n", 2),
+        ("circuit x\ninit a\n", 2),
+        ("circuit x\ninit a=2\n", 2),
+    ];
+    for (src, want_line) in cases {
+        match parse_ckt(src) {
+            Err(NetlistError::Parse { line, .. }) => {
+                assert_eq!(line, want_line, "{src:?}")
+            }
+            other => panic!("{src:?}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn semantic_abuse_errors_without_panics() {
+    // Unknown signals, duplicate outputs, env-pin reads, arity abuse:
+    // all construction-level `Err`s.
+    for src in [
+        "circuit x\ninputs A:a\noutputs y\ngate y = not(ghost)\n",
+        "circuit x\ninputs A:a\noutputs y\ngate y = not(a)\ngate y = buf(a)\n",
+        "circuit x\ninputs A:a\noutputs y\ngate y = not(A)\n",
+        "circuit x\ninputs A:a\noutputs y\ngate y = not(a, a)\n",
+        "circuit x\ninputs A:a\noutputs ghost\ngate y = not(a)\n",
+        "circuit x\ninputs A:a A:b\noutputs y\ngate y = not(a)\n",
+        "circuit x\ninputs A:a\noutputs y\ngate y = c(a)\ninit y=1\n",
+    ] {
+        assert!(parse_ckt(src).is_err(), "{src:?} should fail");
+    }
+}

@@ -1,0 +1,215 @@
+//! Cross-request caching of parsed netlists and constructed CSSGs.
+//!
+//! Both caches are keyed by **content hash** (FNV-1a over a canonical
+//! text), so a benchmark submitted by name and the same circuit pasted
+//! inline share one CSSG entry.  Each cache is LRU-bounded and counts
+//! hits/misses/evictions; the counters are surfaced in the `status`
+//! response and asserted by the service tests.
+
+use satpg_core::json::Json;
+use satpg_core::Cssg;
+use satpg_netlist::Circuit;
+use std::sync::Arc;
+
+/// 64-bit FNV-1a: tiny, deterministic, and good enough for cache keys
+/// (collisions only cost a wrong-but-valid cache identity, so the job
+/// layer re-checks the circuit name on circuit hits).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hit/miss/eviction counters of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: usize,
+    /// Lookups that missed.
+    pub misses: usize,
+    /// Entries displaced by the LRU bound.
+    pub evictions: usize,
+}
+
+impl CacheStats {
+    /// The machine-readable form.
+    pub fn to_json_value(&self, entries: usize) -> Json {
+        Json::Obj(vec![
+            ("entries".to_string(), Json::int(entries)),
+            ("hits".to_string(), Json::int(self.hits)),
+            ("misses".to_string(), Json::int(self.misses)),
+            ("evictions".to_string(), Json::int(self.evictions)),
+        ])
+    }
+}
+
+/// A small LRU map: linear scan, counter-stamped recency.  Capacities
+/// are tens of entries, so O(n) lookups are irrelevant next to the
+/// seconds-scale work an entry saves.
+struct Lru<K, V> {
+    cap: usize,
+    tick: u64,
+    entries: Vec<(K, V, u64)>,
+    stats: CacheStats,
+}
+
+impl<K: Eq, V: Clone> Lru<K, V> {
+    fn new(cap: usize) -> Self {
+        Lru {
+            cap: cap.max(1),
+            tick: 0,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.entries.iter_mut().find(|(k, _, _)| k == key) {
+            Some((_, v, used)) => {
+                *used = self.tick;
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+            slot.1 = value;
+            slot.2 = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(i, _)| i)
+                .expect("cap >= 1 and len >= cap");
+            self.entries.swap_remove(lru);
+            self.stats.evictions += 1;
+        }
+        self.entries.push((key, value, self.tick));
+    }
+}
+
+/// The session cache: parsed netlists keyed by submission-content hash,
+/// CSSGs keyed by canonical-netlist hash plus the transition bound `k`.
+pub struct SessionCache {
+    circuits: Lru<u64, Arc<Circuit>>,
+    cssgs: Lru<(u64, Option<usize>), Arc<Cssg>>,
+}
+
+impl SessionCache {
+    /// A cache bounded at `cap` entries per level.
+    pub fn new(cap: usize) -> Self {
+        SessionCache {
+            circuits: Lru::new(cap),
+            cssgs: Lru::new(cap),
+        }
+    }
+
+    /// Looks up a parsed circuit by submission-content hash.
+    pub fn get_circuit(&mut self, key: u64) -> Option<Arc<Circuit>> {
+        self.circuits.get(&key)
+    }
+
+    /// Stores a parsed circuit.
+    pub fn put_circuit(&mut self, key: u64, ckt: Arc<Circuit>) {
+        self.circuits.put(key, ckt);
+    }
+
+    /// Looks up a CSSG by canonical-netlist hash and transition bound.
+    pub fn get_cssg(&mut self, key: (u64, Option<usize>)) -> Option<Arc<Cssg>> {
+        self.cssgs.get(&key)
+    }
+
+    /// Stores a CSSG.
+    pub fn put_cssg(&mut self, key: (u64, Option<usize>), cssg: Arc<Cssg>) {
+        self.cssgs.put(key, cssg);
+    }
+
+    /// Counters of the circuit-level cache.
+    pub fn circuit_stats(&self) -> CacheStats {
+        self.circuits.stats
+    }
+
+    /// Counters of the CSSG-level cache.
+    pub fn cssg_stats(&self) -> CacheStats {
+        self.cssgs.stats
+    }
+
+    /// The machine-readable form of both levels.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "circuits".to_string(),
+                self.circuits
+                    .stats
+                    .to_json_value(self.circuits.entries.len()),
+            ),
+            (
+                "cssgs".to_string(),
+                self.cssgs.stats.to_json_value(self.cssgs.entries.len()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"circuit a"), fnv64(b"circuit b"));
+        assert_eq!(fnv64(b"same"), fnv64(b"same"));
+    }
+
+    #[test]
+    fn lru_counts_and_evicts() {
+        let mut l: Lru<u64, u64> = Lru::new(2);
+        assert_eq!(l.get(&1), None);
+        l.put(1, 10);
+        l.put(2, 20);
+        assert_eq!(l.get(&1), Some(10)); // touch 1 → 2 is now LRU
+        l.put(3, 30); // evicts 2
+        assert_eq!(l.get(&2), None);
+        assert_eq!(l.get(&1), Some(10));
+        assert_eq!(l.get(&3), Some(30));
+        assert_eq!(l.stats.evictions, 1);
+        assert_eq!(l.stats.hits, 3);
+        assert_eq!(l.stats.misses, 2);
+    }
+
+    #[test]
+    fn session_cache_levels_are_independent() {
+        let mut c = SessionCache::new(4);
+        let ckt = Arc::new(satpg_netlist::library::c_element());
+        c.put_circuit(7, ckt.clone());
+        assert!(c.get_circuit(7).is_some());
+        assert!(c.get_cssg((7, None)).is_none());
+        assert_eq!(c.circuit_stats().hits, 1);
+        assert_eq!(c.cssg_stats().misses, 1);
+        let v = c.to_json_value();
+        assert_eq!(
+            v.get("circuits")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_usize(),
+            Some(1)
+        );
+    }
+}

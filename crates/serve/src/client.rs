@@ -1,0 +1,189 @@
+//! A blocking protocol client, used by `satpg submit`/`status`/
+//! `shutdown` and by the service tests.
+
+use crate::net::{connect, read_line_capped, write_line, Conn};
+use crate::proto::{JobSpec, Request, MAX_LINE_BYTES};
+use satpg_core::json::Json;
+use std::fmt;
+use std::io::{self, BufReader};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer sent something that is not protocol JSON.
+    Protocol(String),
+    /// The daemon refused the request (backpressure, malformed, …).
+    Rejected(String),
+    /// The job ran and failed; the daemon's error message.
+    Job(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Rejected(m) => write!(f, "rejected: {m}"),
+            ClientError::Job(m) => write!(f, "job failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The result of a completed submission.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// The job id the daemon assigned.
+    pub job: u64,
+    /// Every event received, in arrival order (including the final
+    /// `report`).
+    pub events: Vec<Json>,
+    /// The final `report` event.
+    pub report: Json,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl Client {
+    /// Connects to `host:port` or `unix:/path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let conn = connect(addr)?;
+        let reader = BufReader::new(conn.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: conn,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_line(&mut self.writer, &req.to_json_value().render())
+    }
+
+    fn next_event(&mut self) -> Result<Option<Json>, ClientError> {
+        match read_line_capped(&mut self.reader, MAX_LINE_BYTES)? {
+            None => Ok(None),
+            Some(line) => Json::parse(&line)
+                .map(Some)
+                .map_err(|e| ClientError::Protocol(format!("{e} in {line:?}"))),
+        }
+    }
+
+    /// Submits a job and drives `on_event` with every streamed event
+    /// until the final `report`, which is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on backpressure, [`ClientError::Job`]
+    /// when the daemon reports a job failure (e.g. a parse error in an
+    /// inline circuit), and transport/protocol errors otherwise.
+    pub fn submit_streaming(
+        &mut self,
+        spec: JobSpec,
+        on_event: &mut dyn FnMut(&Json),
+    ) -> Result<SubmitOutcome, ClientError> {
+        self.send(&Request::Submit(Box::new(spec)))?;
+        let first = self
+            .next_event()?
+            .ok_or_else(|| ClientError::Protocol("connection closed before reply".into()))?;
+        on_event(&first);
+        let job = match first.get("event").and_then(Json::as_str) {
+            Some("accepted") => first.get("job").and_then(Json::as_usize).unwrap_or(0) as u64,
+            Some("rejected") => {
+                let reason = first
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified");
+                return Err(ClientError::Rejected(reason.to_string()));
+            }
+            _ => {
+                return Err(ClientError::Protocol(format!(
+                    "expected accepted/rejected, got {first}"
+                )))
+            }
+        };
+        let mut events = vec![first];
+        loop {
+            let ev = self.next_event()?.ok_or_else(|| {
+                ClientError::Protocol("connection closed before the final report".into())
+            })?;
+            on_event(&ev);
+            let kind = ev.get("event").and_then(Json::as_str).map(str::to_string);
+            events.push(ev);
+            match kind.as_deref() {
+                Some("report") => {
+                    let report = events.last().expect("just pushed").clone();
+                    return Ok(SubmitOutcome {
+                        job,
+                        events,
+                        report,
+                    });
+                }
+                Some("error") => {
+                    let msg = events
+                        .last()
+                        .expect("just pushed")
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified")
+                        .to_string();
+                    return Err(ClientError::Job(msg));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// [`Client::submit_streaming`] without an event callback.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::submit_streaming`].
+    pub fn submit(&mut self, spec: JobSpec) -> Result<SubmitOutcome, ClientError> {
+        self.submit_streaming(spec, &mut |_| {})
+    }
+
+    /// Fetches the daemon's status snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn status(&mut self) -> Result<Json, ClientError> {
+        self.send(&Request::Status)?;
+        self.next_event()?
+            .ok_or_else(|| ClientError::Protocol("connection closed before status".into()))
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors, or a non-acknowledgement reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        let reply = self
+            .next_event()?
+            .ok_or_else(|| ClientError::Protocol("connection closed before ack".into()))?;
+        if reply.get("shutdown").and_then(Json::as_bool) == Some(true) {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("unexpected reply {reply}")))
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Circuit resolution: from a wire-level [`CircuitSpec`] to a parsed,
+//! validated [`Circuit`].  Every failure path returns a message (with
+//! the parser's line number where one exists) — submissions are
+//! untrusted input and must never panic the daemon.
+
+use crate::proto::CircuitSpec;
+use satpg_netlist::{parse_ckt, Circuit};
+use satpg_stg::synth::{complex_gate, two_level, Redundancy};
+use satpg_stg::{parse_g, suite, StateGraph, Stg};
+
+fn synth(stg: &Stg, style: &str) -> Result<Circuit, String> {
+    let sg = StateGraph::build(stg).map_err(|e| e.to_string())?;
+    match style {
+        "si" => complex_gate(stg, &sg).map_err(|e| e.to_string()),
+        "2l" => two_level(stg, &sg, Redundancy::None).map_err(|e| e.to_string()),
+        "2lr" => two_level(stg, &sg, Redundancy::AllPrimes).map_err(|e| e.to_string()),
+        other => Err(format!("unknown style `{other}` (si|2l|2lr)")),
+    }
+}
+
+fn size_in(size: usize, lo: usize, hi: usize) -> Result<usize, String> {
+    if (lo..=hi).contains(&size) {
+        Ok(size)
+    } else {
+        Err(format!(
+            "size {size} out of range for this family ({lo}..={hi})"
+        ))
+    }
+}
+
+/// Builds the circuit a spec names.
+///
+/// # Errors
+///
+/// A human-readable message: parse errors (line-numbered), unknown
+/// benchmark/family names, out-of-range sizes, synthesis failures.
+pub fn resolve_circuit(spec: &CircuitSpec) -> Result<Circuit, String> {
+    match spec {
+        CircuitSpec::Bench { name, style } => {
+            let stg = suite::load(name).map_err(|e| format!("{name}: {e}"))?;
+            synth(&stg, style).map_err(|e| format!("{name}: {e}"))
+        }
+        CircuitSpec::Family { name, size } => match name.as_str() {
+            "muller" => Ok(satpg_netlist::families::muller_pipeline(size_in(
+                *size, 1, 64,
+            )?)),
+            "arbiter" => Ok(satpg_netlist::families::arbiter_tree(size_in(
+                *size, 2, 62,
+            )?)),
+            "dme" => {
+                let stg = satpg_stg::families::dme_ring(size_in(*size, 2, 6)?)
+                    .map_err(|e| e.to_string())?;
+                synth(&stg, "si")
+            }
+            "seq" => {
+                let stg = satpg_stg::families::sequencer(size_in(*size, 1, 15)?)
+                    .map_err(|e| e.to_string())?;
+                synth(&stg, "si")
+            }
+            other => Err(format!("unknown family `{other}` (muller|dme|arbiter|seq)")),
+        },
+        CircuitSpec::InlineG { text, style } => {
+            let stg = parse_g(text).map_err(|e| e.to_string())?;
+            synth(&stg, style)
+        }
+        CircuitSpec::InlineCkt { text } => parse_ckt(text).map_err(|e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_all_spec_kinds() {
+        let bench = resolve_circuit(&CircuitSpec::Bench {
+            name: "converta".into(),
+            style: "si".into(),
+        })
+        .unwrap();
+        assert_eq!(bench.name(), "converta");
+        let fam = resolve_circuit(&CircuitSpec::Family {
+            name: "muller".into(),
+            size: 3,
+        })
+        .unwrap();
+        assert!(fam.num_gates() > 0);
+        let g = resolve_circuit(&CircuitSpec::InlineG {
+            text: suite::source("seq4").unwrap().to_string(),
+            style: "si".into(),
+        })
+        .unwrap();
+        assert_eq!(g.name(), "seq4");
+        let ckt = resolve_circuit(&CircuitSpec::InlineCkt {
+            text: "circuit inv\ninputs A:a\noutputs y\ngate y = not(a)\nsettle\n".into(),
+        })
+        .unwrap();
+        assert_eq!(ckt.name(), "inv");
+    }
+
+    #[test]
+    fn errors_carry_context_not_panics() {
+        let e = resolve_circuit(&CircuitSpec::Bench {
+            name: "no-such".into(),
+            style: "si".into(),
+        })
+        .unwrap_err();
+        assert!(e.contains("no-such"));
+        let e = resolve_circuit(&CircuitSpec::Family {
+            name: "muller".into(),
+            size: 10_000,
+        })
+        .unwrap_err();
+        assert!(e.contains("out of range"));
+        let e = resolve_circuit(&CircuitSpec::InlineG {
+            text: ".model m\n.bogus\n".into(),
+            style: "si".into(),
+        })
+        .unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = resolve_circuit(&CircuitSpec::InlineCkt {
+            text: "circuit x\nnonsense\n".into(),
+        })
+        .unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+    }
+}

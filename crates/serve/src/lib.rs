@@ -1,0 +1,40 @@
+//! `satpg-serve` — the persistent ATPG service daemon.
+//!
+//! The batch flow re-parses the circuit and rebuilds its synchronous
+//! abstraction on every invocation.  This crate keeps a `satpg` process
+//! resident: a std-only daemon (TCP or Unix-domain socket, JSON-lines
+//! wire protocol — see [`proto`]) that
+//!
+//! * accepts circuit submissions — a bundled **benchmark** by name, a
+//!   generated **family** spec, or inline **`.g`/`.ckt` text**;
+//! * schedules them as jobs on a bounded queue with **backpressure**
+//!   (a full queue answers `rejected` instead of buffering without
+//!   limit) and a fixed executor pool, each job running the
+//!   fault-parallel engine with its own worker count;
+//! * **streams telemetry** while a job runs: stage transitions,
+//!   per-worker stats (searches, steals, broadcast drops, BDD
+//!   GC sweeps/reclaimed/peak), discovered tests, and the final
+//!   machine-readable report;
+//! * keeps a **cross-request cache** ([`cache`]) of parsed netlists and
+//!   constructed CSSGs keyed by content hash with an LRU bound, so a
+//!   repeated or batched submission skips reconstruction — the
+//!   dominant cost for large circuits — with hit/miss counters
+//!   surfaced in `status` and per-job events.
+//!
+//! Reports are *identical* to the serial [`satpg_core::run_atpg`] for
+//! the same configuration (the engine's deterministic-merge guarantee),
+//! so a daemon answer is as trustworthy as a batch run.  Per-job BDD
+//! managers die with their job and respect `gc_threshold` while alive,
+//! which keeps daemon-lifetime memory bounded.
+
+pub mod cache;
+pub mod client;
+pub mod job;
+mod net;
+pub mod proto;
+mod server;
+
+pub use client::{Client, ClientError, SubmitOutcome};
+pub use job::resolve_circuit;
+pub use proto::{CircuitSpec, JobSpec, Request};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,215 @@
+//! Transport plumbing shared by the daemon and the client: a stream
+//! that is either TCP or a Unix-domain socket, plus capped line I/O.
+
+use std::io::{self, BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+
+/// A connected byte stream (TCP or Unix socket).
+pub(crate) enum Conn {
+    /// TCP transport.
+    Tcp(TcpStream),
+    /// Unix-domain transport.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// An independently readable/writable handle to the same socket.
+    pub(crate) fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listening socket.  `addr` strings starting with `unix:` bind
+/// a Unix-domain socket at the given path; anything else is `host:port`.
+pub(crate) enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix listener plus its path (unlinked on drop).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    pub(crate) fn bind(addr: &str) -> io::Result<Listener> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                // A stale socket file from a previous run blocks bind.
+                let _ = std::fs::remove_file(path);
+                return UnixListener::bind(path).map(|l| Listener::Unix(l, PathBuf::from(path)));
+            }
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ));
+        }
+        TcpListener::bind(addr).map(Listener::Tcp)
+    }
+
+    /// The printable address clients should connect to.
+    pub(crate) fn printable_addr(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".to_string()),
+            #[cfg(unix)]
+            Listener::Unix(_, p) => format!("unix:{}", p.display()),
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Conn::Unix(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, p) = self {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Connects to a daemon address (`host:port` or `unix:/path`).
+pub(crate) fn connect(addr: &str) -> io::Result<Conn> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        return UnixStream::connect(path).map(Conn::Unix);
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ));
+        }
+    }
+    TcpStream::connect(addr).map(Conn::Tcp)
+}
+
+/// Reads one `\n`-terminated line, enforcing a byte cap so an abusive
+/// peer cannot balloon memory.  `Ok(None)` on clean EOF.
+pub(crate) fn read_line_capped(r: &mut impl BufRead, cap: usize) -> io::Result<Option<String>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                None
+            } else {
+                Some(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        buf.extend_from_slice(chunk);
+        let n = chunk.len();
+        r.consume(n);
+        if buf.len() > cap {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("request line exceeds {cap} bytes"),
+            ));
+        }
+    }
+}
+
+/// Writes one message line and flushes it (the stream stays line-buffered
+/// from the peer's perspective).
+pub(crate) fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn capped_reader_splits_and_caps() {
+        let data = b"one\ntwo\nlast-without-newline";
+        let mut r = BufReader::new(&data[..]);
+        assert_eq!(
+            read_line_capped(&mut r, 64).unwrap().as_deref(),
+            Some("one")
+        );
+        assert_eq!(
+            read_line_capped(&mut r, 64).unwrap().as_deref(),
+            Some("two")
+        );
+        assert_eq!(
+            read_line_capped(&mut r, 64).unwrap().as_deref(),
+            Some("last-without-newline")
+        );
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), None);
+
+        let long = [b'x'; 100];
+        let mut r = BufReader::new(&long[..]);
+        assert!(read_line_capped(&mut r, 10).is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! The JSON-lines wire protocol.
+//!
+//! Every message is one JSON object on one `\n`-terminated line.
+//! Client → server messages carry a `"cmd"` key (`submit`, `status`,
+//! `shutdown`); server → client messages carry an `"event"` key.  A
+//! `submit` answers with `accepted` (or `rejected` under backpressure),
+//! then streams `stage` / `test` / `worker` telemetry events, and
+//! terminates the job with exactly one `report` or `error` event.
+//!
+//! All parsing is defensive: malformed input yields an `Err(String)`
+//! suitable for an `error` event, never a panic (the line length and
+//! JSON nesting depth are capped upstream).
+
+use satpg_core::json::Json;
+use satpg_engine::WorkerStats;
+
+/// Hard cap on one request line (bytes), applied while reading.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Hard cap on a requested transition bound `k`.
+pub const MAX_K: usize = 1 << 16;
+
+/// Hard cap on per-job engine workers.
+pub const MAX_JOB_WORKERS: usize = 64;
+
+/// What circuit a job targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitSpec {
+    /// A bundled benchmark by name, synthesized in `style`
+    /// (`si`/`2l`/`2lr`).
+    Bench {
+        /// Benchmark name from `satpg list`.
+        name: String,
+        /// Synthesis style.
+        style: String,
+    },
+    /// A generated family (`muller`/`arbiter`/`dme`/`seq`) at `size`.
+    Family {
+        /// Family name.
+        name: String,
+        /// Family size parameter.
+        size: usize,
+    },
+    /// Inline `.g` STG text, synthesized in `style`.
+    InlineG {
+        /// The `.g` source.
+        text: String,
+        /// Synthesis style.
+        style: String,
+    },
+    /// Inline `.ckt` netlist text.
+    InlineCkt {
+        /// The `.ckt` source.
+        text: String,
+    },
+}
+
+impl CircuitSpec {
+    /// The canonical content string the circuit cache hashes.
+    pub fn cache_text(&self) -> String {
+        match self {
+            CircuitSpec::Bench { name, style } => format!("bench\x1f{style}\x1f{name}"),
+            CircuitSpec::Family { name, size } => format!("family\x1f{name}\x1f{size}"),
+            CircuitSpec::InlineG { text, style } => format!("g\x1f{style}\x1f{text}"),
+            CircuitSpec::InlineCkt { text } => format!("ckt\x1f{text}"),
+        }
+    }
+
+    fn to_json_value(&self) -> Json {
+        match self {
+            CircuitSpec::Bench { name, style } => Json::Obj(vec![
+                ("bench".to_string(), Json::str(name)),
+                ("style".to_string(), Json::str(style)),
+            ]),
+            CircuitSpec::Family { name, size } => Json::Obj(vec![
+                ("family".to_string(), Json::str(name)),
+                ("size".to_string(), Json::int(*size)),
+            ]),
+            CircuitSpec::InlineG { text, style } => Json::Obj(vec![
+                ("g".to_string(), Json::str(text)),
+                ("style".to_string(), Json::str(style)),
+            ]),
+            CircuitSpec::InlineCkt { text } => {
+                Json::Obj(vec![("ckt".to_string(), Json::str(text))])
+            }
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<CircuitSpec, String> {
+        let style = match v.get("style") {
+            None => "si".to_string(),
+            Some(s) => s
+                .as_str()
+                .ok_or("circuit.style must be a string")?
+                .to_string(),
+        };
+        if !matches!(style.as_str(), "si" | "2l" | "2lr") {
+            return Err(format!("unknown style `{style}` (si|2l|2lr)"));
+        }
+        if let Some(name) = v.get("bench") {
+            let name = name.as_str().ok_or("circuit.bench must be a string")?;
+            return Ok(CircuitSpec::Bench {
+                name: name.to_string(),
+                style,
+            });
+        }
+        if let Some(name) = v.get("family") {
+            let name = name.as_str().ok_or("circuit.family must be a string")?;
+            let size = v
+                .get("size")
+                .and_then(Json::as_usize)
+                .ok_or("circuit.size must be a non-negative integer")?;
+            return Ok(CircuitSpec::Family {
+                name: name.to_string(),
+                size,
+            });
+        }
+        if let Some(text) = v.get("g") {
+            let text = text.as_str().ok_or("circuit.g must be a string")?;
+            return Ok(CircuitSpec::InlineG {
+                text: text.to_string(),
+                style,
+            });
+        }
+        if let Some(text) = v.get("ckt") {
+            let text = text.as_str().ok_or("circuit.ckt must be a string")?;
+            return Ok(CircuitSpec::InlineCkt {
+                text: text.to_string(),
+            });
+        }
+        Err("circuit must carry one of: bench, family, g, ckt".to_string())
+    }
+}
+
+/// A job request: the circuit plus its flow knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The target circuit.
+    pub circuit: CircuitSpec,
+    /// Engine workers for this job; `0` uses the server default.
+    pub workers: usize,
+    /// Per-worker BDD GC threshold; `None` uses the server default.
+    pub gc_threshold: Option<usize>,
+    /// Target output stuck-at faults instead of input stuck-at.
+    pub output_model: bool,
+    /// Structurally collapse equivalent faults.
+    pub collapse: bool,
+    /// Skip the random-TPG stage.
+    pub no_random: bool,
+    /// Explicit CSSG transition bound; `None` derives it.
+    pub k: Option<usize>,
+}
+
+impl JobSpec {
+    /// A spec with default knobs.
+    pub fn new(circuit: CircuitSpec) -> Self {
+        JobSpec {
+            circuit,
+            workers: 0,
+            gc_threshold: None,
+            output_model: false,
+            collapse: false,
+            no_random: false,
+            k: None,
+        }
+    }
+}
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job.
+    Submit(Box<JobSpec>),
+    /// Ask for scheduler/cache counters.
+    Status,
+    /// Stop accepting work and exit once running jobs finish.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request as one protocol line (without the newline).
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            Request::Status => Json::Obj(vec![("cmd".to_string(), Json::str("status"))]),
+            Request::Shutdown => Json::Obj(vec![("cmd".to_string(), Json::str("shutdown"))]),
+            Request::Submit(spec) => {
+                let mut m = vec![
+                    ("cmd".to_string(), Json::str("submit")),
+                    ("circuit".to_string(), spec.circuit.to_json_value()),
+                ];
+                if spec.workers != 0 {
+                    m.push(("workers".to_string(), Json::int(spec.workers)));
+                }
+                if let Some(t) = spec.gc_threshold {
+                    m.push(("gc_threshold".to_string(), Json::int(t)));
+                }
+                if spec.output_model {
+                    m.push(("output_model".to_string(), Json::Bool(true)));
+                }
+                if spec.collapse {
+                    m.push(("collapse".to_string(), Json::Bool(true)));
+                }
+                if spec.no_random {
+                    m.push(("no_random".to_string(), Json::Bool(true)));
+                }
+                if let Some(k) = spec.k {
+                    m.push(("k".to_string(), Json::int(k)));
+                }
+                Json::Obj(m)
+            }
+        }
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON, unknown commands,
+    /// missing fields or out-of-range knobs.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request must carry a string `cmd`")?;
+        match cmd {
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            "submit" => {
+                let circuit =
+                    CircuitSpec::from_json(v.get("circuit").ok_or("submit requires `circuit`")?)?;
+                let usize_knob = |key: &str, max: usize| -> Result<Option<usize>, String> {
+                    match v.get(key) {
+                        None | Some(Json::Null) => Ok(None),
+                        Some(j) => {
+                            let n = j
+                                .as_usize()
+                                .ok_or(format!("`{key}` must be a non-negative integer"))?;
+                            if n > max {
+                                return Err(format!("`{key}` {n} exceeds the cap {max}"));
+                            }
+                            Ok(Some(n))
+                        }
+                    }
+                };
+                let bool_knob = |key: &str| -> Result<bool, String> {
+                    match v.get(key) {
+                        None | Some(Json::Null) => Ok(false),
+                        Some(j) => j.as_bool().ok_or(format!("`{key}` must be a boolean")),
+                    }
+                };
+                Ok(Request::Submit(Box::new(JobSpec {
+                    circuit,
+                    workers: usize_knob("workers", MAX_JOB_WORKERS)?.unwrap_or(0),
+                    gc_threshold: usize_knob("gc_threshold", usize::MAX / 2)?,
+                    output_model: bool_knob("output_model")?,
+                    collapse: bool_knob("collapse")?,
+                    no_random: bool_knob("no_random")?,
+                    k: usize_knob("k", MAX_K)?,
+                })))
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Builders for the server → client events.  Kept in one place so the
+/// round-trip tests and both ends of the protocol agree on field names.
+pub mod event {
+    use super::*;
+
+    fn base(kind: &str, job: Option<u64>) -> Vec<(String, Json)> {
+        let mut m = vec![("event".to_string(), Json::str(kind))];
+        if let Some(j) = job {
+            m.push(("job".to_string(), Json::int(j)));
+        }
+        m
+    }
+
+    /// The job was queued.
+    pub fn accepted(job: u64, queue_depth: usize) -> Json {
+        let mut m = base("accepted", Some(job));
+        m.push(("queue_depth".to_string(), Json::int(queue_depth)));
+        Json::Obj(m)
+    }
+
+    /// The job was refused (backpressure or shutdown).
+    pub fn rejected(reason: &str) -> Json {
+        let mut m = base("rejected", None);
+        m.push(("reason".to_string(), Json::str(reason)));
+        Json::Obj(m)
+    }
+
+    /// The job failed; this is the job's final event.
+    pub fn error(job: u64, message: &str) -> Json {
+        let mut m = base("error", Some(job));
+        m.push(("message".to_string(), Json::str(message)));
+        Json::Obj(m)
+    }
+
+    /// A stage transition with stage-specific `data` fields.
+    pub fn stage(job: u64, name: &str, data: Vec<(String, Json)>) -> Json {
+        let mut m = base("stage", Some(job));
+        m.push(("stage".to_string(), Json::str(name)));
+        m.extend(data);
+        Json::Obj(m)
+    }
+
+    /// A worker found a test.
+    pub fn test(job: u64, worker: usize, class: usize, cycles: usize) -> Json {
+        let mut m = base("test", Some(job));
+        m.push(("worker".to_string(), Json::int(worker)));
+        m.push(("class".to_string(), Json::int(class)));
+        m.push(("cycles".to_string(), Json::int(cycles)));
+        Json::Obj(m)
+    }
+
+    /// A worker finished; full per-worker telemetry.
+    pub fn worker(job: u64, stats: &WorkerStats) -> Json {
+        let mut m = base("worker", Some(job));
+        m.push(("stats".to_string(), stats.to_json_value()));
+        Json::Obj(m)
+    }
+
+    /// The job's final report (engine JSON form plus cache flags).
+    pub fn report(job: u64, body: Json) -> Json {
+        let mut m = base("report", Some(job));
+        if let Json::Obj(fields) = body {
+            m.extend(fields);
+        }
+        Json::Obj(m)
+    }
+
+    /// The status snapshot.
+    pub fn status(fields: Vec<(String, Json)>) -> Json {
+        let mut m = base("status", None);
+        m.extend(fields);
+        Json::Obj(m)
+    }
+
+    /// Acknowledges a shutdown request.
+    pub fn shutdown_ok() -> Json {
+        Json::Obj(vec![
+            ("event".to_string(), Json::str("ok")),
+            ("shutdown".to_string(), Json::Bool(true)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(req: Request) {
+        let line = req.to_json_value().render();
+        assert_eq!(Request::parse(&line), Ok(req), "{line}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(Request::Status);
+        round_trip(Request::Shutdown);
+        round_trip(Request::Submit(Box::new(JobSpec::new(
+            CircuitSpec::Bench {
+                name: "converta".into(),
+                style: "si".into(),
+            },
+        ))));
+        round_trip(Request::Submit(Box::new(JobSpec {
+            circuit: CircuitSpec::Family {
+                name: "muller".into(),
+                size: 8,
+            },
+            workers: 4,
+            gc_threshold: Some(1024),
+            output_model: true,
+            collapse: true,
+            no_random: true,
+            k: Some(40),
+        })));
+        round_trip(Request::Submit(Box::new(JobSpec::new(
+            CircuitSpec::InlineCkt {
+                text: "circuit inv\ninputs A:a\noutputs y\ngate y = not(a)\n".into(),
+            },
+        ))));
+        round_trip(Request::Submit(Box::new(JobSpec::new(
+            CircuitSpec::InlineG {
+                text: ".model m\n.inputs r\n.outputs a\n.graph\nr+ a+\na+ r-\nr- a-\na- r+\n.marking { <a-,r+> }\n".into(),
+                style: "2l".into(),
+            },
+        ))));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        for (line, needle) in [
+            ("", "JSON error"),
+            ("{}", "cmd"),
+            ("{\"cmd\":\"frob\"}", "unknown command"),
+            ("{\"cmd\":\"submit\"}", "circuit"),
+            ("{\"cmd\":\"submit\",\"circuit\":{}}", "one of"),
+            (
+                "{\"cmd\":\"submit\",\"circuit\":{\"bench\":\"x\",\"style\":\"fancy\"}}",
+                "unknown style",
+            ),
+            (
+                "{\"cmd\":\"submit\",\"circuit\":{\"bench\":\"x\"},\"workers\":-1}",
+                "workers",
+            ),
+            (
+                "{\"cmd\":\"submit\",\"circuit\":{\"bench\":\"x\"},\"workers\":100000}",
+                "cap",
+            ),
+            (
+                "{\"cmd\":\"submit\",\"circuit\":{\"bench\":\"x\"},\"k\":9999999}",
+                "cap",
+            ),
+            (
+                "{\"cmd\":\"submit\",\"circuit\":{\"family\":\"muller\"}}",
+                "size",
+            ),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn events_parse_as_json_with_expected_fields() {
+        let ev = event::accepted(3, 1);
+        let v = Json::parse(&ev.render()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("accepted"));
+        assert_eq!(v.get("job").unwrap().as_usize(), Some(3));
+        let ev = event::stage(
+            7,
+            "cssg",
+            vec![
+                ("cache".to_string(), Json::str("hit")),
+                ("states".to_string(), Json::int(12)),
+            ],
+        );
+        let v = Json::parse(&ev.render()).unwrap();
+        assert_eq!(v.get("stage").unwrap().as_str(), Some("cssg"));
+        assert_eq!(v.get("cache").unwrap().as_str(), Some("hit"));
+        let ev = event::worker(1, &WorkerStats::default());
+        let v = Json::parse(&ev.render()).unwrap();
+        assert!(v.get("stats").unwrap().get("bdd_peak_unique").is_some());
+        assert_eq!(
+            event::shutdown_ok().get("shutdown").unwrap().as_bool(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn cache_text_distinguishes_specs() {
+        let a = CircuitSpec::Bench {
+            name: "x".into(),
+            style: "si".into(),
+        };
+        let b = CircuitSpec::Bench {
+            name: "x".into(),
+            style: "2l".into(),
+        };
+        let c = CircuitSpec::InlineCkt { text: "x".into() };
+        assert_ne!(a.cache_text(), b.cache_text());
+        assert_ne!(a.cache_text(), c.cache_text());
+    }
+}

@@ -1,0 +1,536 @@
+//! The daemon: listener, bounded job queue with backpressure, worker
+//! pool, and per-connection streaming of job telemetry.
+//!
+//! Threading model:
+//!
+//! * one **accept loop** (the caller's thread in [`Server::run`]),
+//!   polling a non-blocking listener so a `shutdown` request can stop
+//!   it without a self-connect;
+//! * one thread per **connection**, which parses request lines and, for
+//!   a submitted job, forwards the job's event channel to the socket
+//!   until the job finishes;
+//! * a fixed **pool** of job executors popping the shared queue.  Each
+//!   job runs the fault-parallel engine with its own per-job worker
+//!   count; engine telemetry flows through an [`EngineSink`] adapter
+//!   into the submitting connection's channel.
+//!
+//! Backpressure: a `submit` that arrives with the queue at
+//! `queue_depth` is answered with a `rejected` event immediately — the
+//! client decides whether to retry.  Memory: jobs share nothing but the
+//! read-only circuit/CSSG `Arc`s from the cache; per-worker BDD
+//! managers die with the job, and `gc_threshold` bounds them while it
+//! runs, so daemon-lifetime memory stays bounded.
+
+use crate::cache::{fnv64, SessionCache};
+use crate::job::resolve_circuit;
+use crate::net::{read_line_capped, write_line, Conn, Listener};
+use crate::proto::{event, JobSpec, Request, MAX_LINE_BYTES};
+use satpg_core::json::Json;
+use satpg_core::{
+    build_cssg, input_stuck_faults, output_stuck_faults, AtpgConfig, CssgConfig, FaultModel,
+    ThreePhaseConfig,
+};
+use satpg_engine::{run_engine_on_streaming, EngineConfig, EngineEvent, EngineSink};
+use satpg_netlist::to_ckt;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address: `host:port` (port 0 picks an ephemeral port) or
+    /// `unix:/path/to.sock`.
+    pub addr: String,
+    /// Job-executor threads (concurrent jobs).
+    pub pool_workers: usize,
+    /// Queue slots; a submit beyond this is rejected (backpressure).
+    pub queue_depth: usize,
+    /// LRU capacity of each cache level (circuits, CSSGs).
+    pub cache_entries: usize,
+    /// Default per-job engine workers (`0` = one per CPU).
+    pub default_job_workers: usize,
+    /// Default per-worker BDD GC threshold for jobs that do not set one.
+    pub gc_threshold: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            pool_workers: 2,
+            queue_depth: 16,
+            cache_entries: 64,
+            default_job_workers: 0,
+            gc_threshold: None,
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    tx: mpsc::Sender<Json>,
+}
+
+struct State {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    cache: Mutex<SessionCache>,
+    shutdown: AtomicBool,
+    next_job: AtomicU64,
+    jobs_queued: AtomicUsize,
+    jobs_running: AtomicUsize,
+    jobs_done: AtomicUsize,
+    jobs_failed: AtomicUsize,
+    jobs_rejected: AtomicUsize,
+    /// Max across jobs of the per-worker unique-table high-water mark:
+    /// the daemon's RSS proxy for BDD memory.
+    peak_bdd_nodes: AtomicUsize,
+    /// Connections currently forwarding an accepted job's event stream;
+    /// shutdown waits for this to drain so a completed job's final
+    /// report is not cut off by process exit.
+    streaming: AtomicUsize,
+    started: Instant,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: Listener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listener without accepting yet, so callers can learn
+    /// the ephemeral port before starting the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = Listener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(State {
+            cache: Mutex::new(SessionCache::new(cfg.cache_entries)),
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_job: AtomicU64::new(1),
+            jobs_queued: AtomicUsize::new(0),
+            jobs_running: AtomicUsize::new(0),
+            jobs_done: AtomicUsize::new(0),
+            jobs_failed: AtomicUsize::new(0),
+            jobs_rejected: AtomicUsize::new(0),
+            peak_bdd_nodes: AtomicUsize::new(0),
+            streaming: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The address clients should connect to (`host:port` with the real
+    /// port, or `unix:/path`).
+    pub fn local_addr(&self) -> String {
+        self.listener.printable_addr()
+    }
+
+    /// Runs the daemon until a `shutdown` request: accepts connections,
+    /// executes jobs, then drains the queue and joins the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected accept-loop I/O failures (never the
+    /// per-connection ones, which only end that connection).
+    pub fn run(self) -> io::Result<()> {
+        let pool: Vec<_> = (0..self.state.cfg.pool_workers.max(1))
+            .map(|_| {
+                let state = self.state.clone();
+                std::thread::spawn(move || pool_loop(&state))
+            })
+            .collect();
+
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok(conn) => {
+                    let state = self.state.clone();
+                    // Detached: a connection blocked on a slow client
+                    // must not block shutdown of the daemon itself.
+                    std::thread::spawn(move || {
+                        let _ = handle_conn(&state, conn);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Stop accepting, wake idle executors, and let them drain what
+        // was queued before the shutdown request.
+        self.state.queue_cv.notify_all();
+        for h in pool {
+            let _ = h.join();
+        }
+        // Every job channel is closed now; give connections that are
+        // still flushing a finished job's events a bounded grace period
+        // so process exit does not truncate their final report.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.state.streaming.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+fn pool_loop(state: &Arc<State>) {
+    loop {
+        let job = {
+            let mut q = state.queue.lock().expect("queue lock");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = state.queue_cv.wait(q).expect("queue lock");
+            }
+        };
+        state.jobs_queued.fetch_sub(1, Ordering::SeqCst);
+        state.jobs_running.fetch_add(1, Ordering::SeqCst);
+        execute(state, &job);
+        state.jobs_running.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Adapter from engine telemetry to protocol events on the job channel.
+struct ChannelSink {
+    job: u64,
+    cssg_cache: &'static str,
+    tx: Mutex<mpsc::Sender<Json>>,
+}
+
+impl ChannelSink {
+    fn send(&self, ev: Json) {
+        // A disconnected client only mutes telemetry; the job finishes
+        // so its verdicts still warm the cache.
+        let _ = self.tx.lock().expect("sink lock").send(ev);
+    }
+}
+
+impl EngineSink for ChannelSink {
+    fn event(&self, ev: EngineEvent) {
+        let j = self.job;
+        match ev {
+            EngineEvent::CssgReady {
+                states,
+                edges,
+                truncated,
+                us,
+            } => self.send(event::stage(
+                j,
+                "cssg",
+                vec![
+                    ("cache".to_string(), Json::str(self.cssg_cache)),
+                    ("states".to_string(), Json::int(states)),
+                    ("edges".to_string(), Json::int(edges)),
+                    ("truncated".to_string(), Json::int(truncated)),
+                    ("us".to_string(), Json::int(us)),
+                ],
+            )),
+            EngineEvent::RandomDone { resolved, us } => self.send(event::stage(
+                j,
+                "random",
+                vec![
+                    ("resolved".to_string(), Json::int(resolved)),
+                    ("us".to_string(), Json::int(us)),
+                ],
+            )),
+            EngineEvent::ParallelStarted { workers, pending } => self.send(event::stage(
+                j,
+                "parallel",
+                vec![
+                    ("workers".to_string(), Json::int(workers)),
+                    ("pending".to_string(), Json::int(pending)),
+                ],
+            )),
+            EngineEvent::TestFound {
+                worker,
+                class,
+                cycles,
+            } => self.send(event::test(j, worker, class, cycles)),
+            EngineEvent::WorkerDone { stats } => self.send(event::worker(j, &stats)),
+            EngineEvent::MergeDone { fallbacks, us } => self.send(event::stage(
+                j,
+                "merge",
+                vec![
+                    ("fallbacks".to_string(), Json::int(fallbacks)),
+                    ("us".to_string(), Json::int(us)),
+                ],
+            )),
+        }
+    }
+}
+
+fn execute(state: &Arc<State>, job: &QueuedJob) {
+    let send = |ev: Json| {
+        let _ = job.tx.send(ev);
+    };
+    let fail = |msg: &str| {
+        send(event::error(job.id, msg));
+        state.jobs_failed.fetch_add(1, Ordering::SeqCst);
+    };
+
+    // --- Circuit: content-hash lookup, then parse/synthesize. ---
+    let ckey = fnv64(job.spec.circuit.cache_text().as_bytes());
+    let cached = state.cache.lock().expect("cache lock").get_circuit(ckey);
+    let (ckt, ckt_cache) = match cached {
+        Some(c) => (c, "hit"),
+        None => match resolve_circuit(&job.spec.circuit) {
+            Ok(c) => {
+                let c = Arc::new(c);
+                state
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .put_circuit(ckey, c.clone());
+                (c, "miss")
+            }
+            Err(msg) => return fail(&msg),
+        },
+    };
+    send(event::stage(
+        job.id,
+        "circuit",
+        vec![
+            ("cache".to_string(), Json::str(ckt_cache)),
+            ("name".to_string(), Json::str(ckt.name())),
+            ("gates".to_string(), Json::int(ckt.num_gates())),
+            ("inputs".to_string(), Json::int(ckt.num_inputs())),
+        ],
+    ));
+
+    // --- CSSG: keyed by canonical netlist text + transition bound. ---
+    let cssg_cfg = CssgConfig {
+        k: job.spec.k,
+        ..CssgConfig::default()
+    };
+    let skey = (fnv64(to_ckt(&ckt).as_bytes()), job.spec.k);
+    let cached = state.cache.lock().expect("cache lock").get_cssg(skey);
+    let (cssg, cssg_cache, us_cssg) = match cached {
+        Some(g) => (g, "hit", 0u128),
+        None => {
+            let t0 = Instant::now();
+            match build_cssg(&ckt, &cssg_cfg) {
+                Ok(g) => {
+                    let g = Arc::new(g);
+                    state
+                        .cache
+                        .lock()
+                        .expect("cache lock")
+                        .put_cssg(skey, g.clone());
+                    (g, "miss", t0.elapsed().as_micros())
+                }
+                Err(e) => return fail(&e.to_string()),
+            }
+        }
+    };
+    if cssg.num_edges() == 0 {
+        return fail(&satpg_core::CoreError::NoValidVectors.to_string());
+    }
+
+    // --- Engine campaign, telemetry streamed through the sink. ---
+    let cfg = EngineConfig {
+        atpg: AtpgConfig {
+            cssg: cssg_cfg,
+            random: if job.spec.no_random {
+                None
+            } else {
+                Some(Default::default())
+            },
+            fault_model: if job.spec.output_model {
+                FaultModel::OutputStuckAt
+            } else {
+                FaultModel::InputStuckAt
+            },
+            collapse: job.spec.collapse,
+            fault_sim: true,
+            three_phase: ThreePhaseConfig::scaled(&ckt),
+        },
+        workers: if job.spec.workers == 0 {
+            state.cfg.default_job_workers
+        } else {
+            job.spec.workers
+        },
+        broadcast: true,
+        symbolic_audit: true,
+        gc_threshold: job.spec.gc_threshold.or(state.cfg.gc_threshold),
+    };
+    let faults = match cfg.atpg.fault_model {
+        FaultModel::InputStuckAt => input_stuck_faults(&ckt),
+        FaultModel::OutputStuckAt => output_stuck_faults(&ckt),
+    };
+    let sink = ChannelSink {
+        job: job.id,
+        cssg_cache,
+        tx: Mutex::new(job.tx.clone()),
+    };
+    let out = run_engine_on_streaming(&ckt, &cssg, &faults, &cfg, us_cssg, &sink);
+
+    let peak = out
+        .workers
+        .iter()
+        .map(|w| w.bdd_peak_unique)
+        .max()
+        .unwrap_or(0);
+    state.peak_bdd_nodes.fetch_max(peak, Ordering::SeqCst);
+
+    let mut body = out.to_json_value(true);
+    if let Json::Obj(m) = &mut body {
+        m.push((
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("circuit".to_string(), Json::str(ckt_cache)),
+                ("cssg".to_string(), Json::str(cssg_cache)),
+            ]),
+        ));
+    }
+    send(event::report(job.id, body));
+    state.jobs_done.fetch_add(1, Ordering::SeqCst);
+}
+
+fn status_json(state: &State) -> Json {
+    let cache = state.cache.lock().expect("cache lock").to_json_value();
+    event::status(vec![
+        (
+            "jobs".to_string(),
+            Json::Obj(vec![
+                (
+                    "queued".to_string(),
+                    Json::int(state.jobs_queued.load(Ordering::SeqCst)),
+                ),
+                (
+                    "running".to_string(),
+                    Json::int(state.jobs_running.load(Ordering::SeqCst)),
+                ),
+                (
+                    "done".to_string(),
+                    Json::int(state.jobs_done.load(Ordering::SeqCst)),
+                ),
+                (
+                    "failed".to_string(),
+                    Json::int(state.jobs_failed.load(Ordering::SeqCst)),
+                ),
+                (
+                    "rejected".to_string(),
+                    Json::int(state.jobs_rejected.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
+        ("cache".to_string(), cache),
+        (
+            "peak_bdd_nodes".to_string(),
+            Json::int(state.peak_bdd_nodes.load(Ordering::SeqCst)),
+        ),
+        ("queue_depth".to_string(), Json::int(state.cfg.queue_depth)),
+        (
+            "pool_workers".to_string(),
+            Json::int(state.cfg.pool_workers.max(1)),
+        ),
+        (
+            "uptime_us".to_string(),
+            Json::int(state.started.elapsed().as_micros()),
+        ),
+    ])
+}
+
+fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
+    let mut reader = BufReader::new(conn.try_clone()?);
+    loop {
+        let line = match read_line_capped(&mut reader, MAX_LINE_BYTES) {
+            Ok(Some(l)) => l,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                // Over-long line: tell the peer why before dropping it.
+                let _ = write_line(&mut conn, &event::rejected(&e.to_string()).render());
+                return Err(e);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Err(msg) => write_line(&mut conn, &event::rejected(&msg).render())?,
+            Ok(Request::Status) => write_line(&mut conn, &status_json(state).render())?,
+            Ok(Request::Shutdown) => {
+                state.shutdown.store(true, Ordering::SeqCst);
+                state.queue_cv.notify_all();
+                write_line(&mut conn, &event::shutdown_ok().render())?;
+                return Ok(());
+            }
+            Ok(Request::Submit(spec)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    state.jobs_rejected.fetch_add(1, Ordering::SeqCst);
+                    write_line(&mut conn, &event::rejected("shutting down").render())?;
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel::<Json>();
+                let accepted = {
+                    let mut q = state.queue.lock().expect("queue lock");
+                    if q.len() >= state.cfg.queue_depth {
+                        None
+                    } else {
+                        let id = state.next_job.fetch_add(1, Ordering::SeqCst);
+                        q.push_back(QueuedJob {
+                            id,
+                            spec: *spec,
+                            tx,
+                        });
+                        // Counted while the queue lock is held: an
+                        // executor can only pop (and decrement) after
+                        // this lock round, so the gauge never wraps.
+                        state.jobs_queued.fetch_add(1, Ordering::SeqCst);
+                        Some((id, q.len()))
+                    }
+                };
+                match accepted {
+                    None => {
+                        state.jobs_rejected.fetch_add(1, Ordering::SeqCst);
+                        write_line(
+                            &mut conn,
+                            &event::rejected(&format!(
+                                "queue full (depth {})",
+                                state.cfg.queue_depth
+                            ))
+                            .render(),
+                        )?;
+                    }
+                    Some((id, depth)) => {
+                        state.queue_cv.notify_one();
+                        write_line(&mut conn, &event::accepted(id, depth).render())?;
+                        // Stream until the executor drops the sender
+                        // (after the final report/error event).  The
+                        // streaming gauge keeps shutdown from exiting
+                        // the process before this flush completes.
+                        state.streaming.fetch_add(1, Ordering::SeqCst);
+                        let mut io_result = Ok(());
+                        for ev in rx {
+                            if let Err(e) = write_line(&mut conn, &ev.render()) {
+                                io_result = Err(e);
+                                break;
+                            }
+                        }
+                        state.streaming.fetch_sub(1, Ordering::SeqCst);
+                        io_result?;
+                    }
+                }
+            }
+        }
+    }
+}

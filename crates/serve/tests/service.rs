@@ -1,0 +1,319 @@
+//! Service integration tests: concurrent submissions against a live
+//! daemon, result identity with the serial flow, cache hit paths,
+//! backpressure, malformed input, and bounded memory across jobs.
+
+use satpg_core::json::Json;
+use satpg_core::{run_atpg, AtpgConfig, ThreePhaseConfig};
+use satpg_serve::{CircuitSpec, Client, ClientError, JobSpec, ServeConfig, Server};
+use std::thread;
+
+fn start(cfg: ServeConfig) -> (String, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn bench_spec(name: &str) -> JobSpec {
+    JobSpec {
+        workers: 2,
+        ..JobSpec::new(CircuitSpec::Bench {
+            name: name.to_string(),
+            style: "si".to_string(),
+        })
+    }
+}
+
+/// The serial reference for a bench submission with daemon defaults,
+/// serialized without timing.
+fn serial_json(name: &str) -> String {
+    let ckt = satpg_serve::resolve_circuit(&CircuitSpec::Bench {
+        name: name.to_string(),
+        style: "si".to_string(),
+    })
+    .expect("suite synthesizes");
+    let cfg = AtpgConfig {
+        three_phase: ThreePhaseConfig::scaled(&ckt),
+        ..AtpgConfig::paper()
+    };
+    run_atpg(&ckt, &cfg)
+        .expect("serial flow runs")
+        .to_json_value(false)
+        .render()
+}
+
+/// Timing-free rendering of the `report` object inside a report event.
+fn daemon_report_json(report_event: &Json) -> String {
+    let report = report_event.get("report").expect("report body");
+    let Json::Obj(members) = report else {
+        panic!("report must be an object")
+    };
+    let stripped: Vec<(String, Json)> = members
+        .iter()
+        .filter(|(k, _)| k != "timing_us")
+        .cloned()
+        .collect();
+    Json::Obj(stripped).render()
+}
+
+#[test]
+fn concurrent_clients_get_serial_identical_reports() {
+    let (addr, handle) = start(ServeConfig {
+        pool_workers: 3,
+        ..ServeConfig::default()
+    });
+    // Five concurrent clients; two share a benchmark so the duplicate
+    // exercises the cache while the others race it.
+    let benches = ["converta", "dff", "seq4", "nowick", "converta"];
+    let results: Vec<(String, String)> = thread::scope(|s| {
+        let handles: Vec<_> = benches
+            .iter()
+            .map(|&name| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    // Each client submits twice to exercise per-connection
+                    // sequencing as well.
+                    let first = client.submit(bench_spec(name)).expect("submit 1");
+                    let second = client.submit(bench_spec(name)).expect("submit 2");
+                    assert_eq!(
+                        daemon_report_json(&first.report),
+                        daemon_report_json(&second.report),
+                        "{name}: resubmission changed the verdicts"
+                    );
+                    (name.to_string(), daemon_report_json(&second.report))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (name, daemon) in &results {
+        assert_eq!(
+            daemon,
+            &serial_json(name),
+            "{name}: daemon report differs from serial run_atpg"
+        );
+    }
+    let mut client = Client::connect(&addr).expect("connect");
+    let status = client.status().expect("status");
+    assert_eq!(
+        status
+            .get("jobs")
+            .and_then(|j| j.get("done"))
+            .and_then(Json::as_usize),
+        Some(benches.len() * 2)
+    );
+    // 5 distinct (bench, k) jobs → ≥ 5 misses; 10 jobs total → 5 hits.
+    let cssgs = status.get("cache").and_then(|c| c.get("cssgs")).unwrap();
+    assert!(cssgs.get("hits").and_then(Json::as_usize).unwrap() >= 5);
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn duplicate_submission_hits_the_cssg_cache() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let first = client.submit(bench_spec("converta")).expect("submit");
+    let cssg_stage = |events: &[Json]| {
+        events
+            .iter()
+            .find(|e| e.get("stage").and_then(Json::as_str) == Some("cssg"))
+            .expect("cssg stage event")
+            .get("cache")
+            .and_then(Json::as_str)
+            .expect("cache flag")
+            .to_string()
+    };
+    assert_eq!(cssg_stage(&first.events), "miss");
+
+    let second = client.submit(bench_spec("converta")).expect("submit");
+    assert_eq!(cssg_stage(&second.events), "hit");
+    assert_eq!(
+        second
+            .report
+            .get("cache")
+            .and_then(|c| c.get("cssg"))
+            .and_then(Json::as_str),
+        Some("hit")
+    );
+    // The same circuit pasted inline shares the CSSG entry: the content
+    // hash is over the canonical netlist, not the submission form.
+    let ckt = satpg_serve::resolve_circuit(&CircuitSpec::Bench {
+        name: "converta".to_string(),
+        style: "si".to_string(),
+    })
+    .unwrap();
+    let inline = client
+        .submit(JobSpec {
+            workers: 2,
+            ..JobSpec::new(CircuitSpec::InlineCkt {
+                text: satpg_netlist::to_ckt(&ckt),
+            })
+        })
+        .expect("inline submit");
+    assert_eq!(cssg_stage(&inline.events), "hit");
+    assert_eq!(
+        daemon_report_json(&inline.report),
+        daemon_report_json(&second.report)
+    );
+
+    let status = client.status().expect("status");
+    let cache = status.get("cache").unwrap();
+    let hits = |lvl: &str| {
+        cache
+            .get(lvl)
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_usize)
+            .unwrap()
+    };
+    assert_eq!(hits("cssgs"), 2, "bench resubmit + inline twin");
+    assert_eq!(hits("circuits"), 1, "only the bench resubmit");
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn zero_depth_queue_rejects_with_backpressure() {
+    let (addr, handle) = start(ServeConfig {
+        queue_depth: 0,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.submit(bench_spec("dff")) {
+        Err(ClientError::Rejected(reason)) => assert!(reason.contains("queue full"), "{reason}"),
+        other => panic!("expected backpressure rejection, got {other:?}"),
+    }
+    let status = client.status().expect("status");
+    assert_eq!(
+        status
+            .get("jobs")
+            .and_then(|j| j.get("rejected"))
+            .and_then(Json::as_usize),
+        Some(1)
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_submissions_fail_with_line_numbers_not_panics() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    // Truncated .g text: the daemon answers with the parser's located
+    // error and stays alive.
+    match client.submit(JobSpec::new(CircuitSpec::InlineG {
+        text: ".model broken\n.inputs a\n.graph\nq+ r+\n".to_string(),
+        style: "si".to_string(),
+    })) {
+        Err(ClientError::Job(msg)) => assert!(msg.contains("unknown signal"), "{msg}"),
+        other => panic!("expected job error, got {other:?}"),
+    }
+    match client.submit(JobSpec::new(CircuitSpec::InlineCkt {
+        text: "circuit x\ninputs A:a\ngarbage here\n".to_string(),
+    })) {
+        Err(ClientError::Job(msg)) => assert!(msg.contains("line 3"), "{msg}"),
+        other => panic!("expected job error, got {other:?}"),
+    }
+    // Unknown bench and a bad family size.
+    assert!(matches!(
+        client.submit(bench_spec("no-such-bench")),
+        Err(ClientError::Job(_))
+    ));
+    assert!(matches!(
+        client.submit(JobSpec::new(CircuitSpec::Family {
+            name: "muller".into(),
+            size: 4096,
+        })),
+        Err(ClientError::Job(_))
+    ));
+    // The daemon is still healthy after four failed jobs.
+    let out = client.submit(bench_spec("dff")).expect("daemon survived");
+    assert_eq!(daemon_report_json(&out.report), serial_json("dff"));
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn raw_garbage_lines_get_rejected_events() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, handle) = start(ServeConfig::default());
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for bad in ["not json", "{\"cmd\":\"frob\"}", "[1,2,3]"] {
+        stream.write_all(bad.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(line.trim()).expect("reply is protocol JSON");
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("rejected"));
+    }
+    drop(stream);
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn twenty_sequential_jobs_keep_bdd_memory_bounded() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let spec = || JobSpec {
+        workers: 1, // deterministic audit partition → comparable peaks
+        gc_threshold: Some(1024),
+        no_random: true, // keep every class for the workers' managers
+        ..JobSpec::new(CircuitSpec::Bench {
+            name: "converta".to_string(),
+            style: "si".to_string(),
+        })
+    };
+    let mut peaks = Vec::new();
+    for i in 0..20 {
+        let out = client
+            .submit(spec())
+            .unwrap_or_else(|e| panic!("job {i}: {e}"));
+        let engine = out.report.get("engine").expect("engine telemetry");
+        let peak = engine
+            .get("workers")
+            .and_then(Json::as_arr)
+            .expect("worker stats")
+            .iter()
+            .map(|w| w.get("bdd_peak_unique").and_then(Json::as_usize).unwrap())
+            .max()
+            .unwrap();
+        peaks.push(peak);
+    }
+    // Per-job managers die with the job and GC bounds them while alive:
+    // the peak must not grow across jobs (the RSS proxy of the daemon).
+    let first = peaks[0];
+    assert!(first > 0);
+    for (i, &p) in peaks.iter().enumerate() {
+        assert_eq!(p, first, "job {i}: peak drifted across identical jobs");
+    }
+    let status = client.status().expect("status");
+    let reported = status
+        .get("peak_bdd_nodes")
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(reported, first);
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_works() {
+    let path = format!("/tmp/satpg-serve-test-{}.sock", std::process::id());
+    let (addr, handle) = start(ServeConfig {
+        addr: format!("unix:{path}"),
+        ..ServeConfig::default()
+    });
+    assert_eq!(addr, format!("unix:{path}"));
+    let mut client = Client::connect(&addr).expect("connect over unix socket");
+    let out = client.submit(bench_spec("dff")).expect("submit");
+    assert_eq!(daemon_report_json(&out.report), serial_json("dff"));
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+    assert!(!std::path::Path::new(&path).exists(), "socket file cleaned");
+}

@@ -85,22 +85,19 @@ pub fn parse_g(src: &str) -> Result<Stg> {
             };
             match dir {
                 "model" | "name" => stg = Stg::new(args),
-                "inputs" => {
+                "inputs" | "outputs" | "internal" => {
+                    let class = match dir {
+                        "inputs" => SignalClass::Input,
+                        "outputs" => SignalClass::Output,
+                        _ => SignalClass::Internal,
+                    };
                     for s in args.split_whitespace() {
-                        declared.push((s.to_string(), SignalClass::Input));
-                        classes.insert(s.to_string(), SignalClass::Input);
-                    }
-                }
-                "outputs" => {
-                    for s in args.split_whitespace() {
-                        declared.push((s.to_string(), SignalClass::Output));
-                        classes.insert(s.to_string(), SignalClass::Output);
-                    }
-                }
-                "internal" => {
-                    for s in args.split_whitespace() {
-                        declared.push((s.to_string(), SignalClass::Internal));
-                        classes.insert(s.to_string(), SignalClass::Internal);
+                        // A doubly-declared signal would silently shadow
+                        // its first index downstream; reject it here.
+                        if classes.insert(s.to_string(), class).is_some() {
+                            return Err(err(ln, format!("signal `{s}` declared twice")));
+                        }
+                        declared.push((s.to_string(), class));
                     }
                 }
                 "graph" => in_graph = true,

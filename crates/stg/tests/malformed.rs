@@ -1,0 +1,108 @@
+//! Malformed-input battery for the `.g` parser and its downstream
+//! pipeline: everything the service daemon exposes to untrusted text
+//! must return a located `Err`, never panic.
+
+use satpg_stg::synth::{complex_gate, two_level, Redundancy};
+use satpg_stg::{parse_g, suite, StateGraph, StgError};
+
+/// Drives a source through the full daemon-exposed pipeline; the test
+/// is that every failure is an `Err`, not a panic.
+fn full_pipeline(src: &str) {
+    let Ok(stg) = parse_g(src) else { return };
+    let Ok(sg) = StateGraph::build(&stg) else {
+        return;
+    };
+    let _ = complex_gate(&stg, &sg);
+    let _ = two_level(&stg, &sg, Redundancy::None);
+}
+
+#[test]
+fn every_benchmark_survives_line_truncation() {
+    for &name in suite::NAMES {
+        let src = suite::source(name).unwrap();
+        let lines: Vec<&str> = src.lines().collect();
+        for cut in 0..lines.len() {
+            let truncated = lines[..cut].join("\n");
+            match parse_g(&truncated) {
+                Ok(_) => {}
+                Err(StgError::Parse { line, .. }) => {
+                    assert!(
+                        line >= 1 && line <= cut.max(1),
+                        "{name}@{cut}: error line {line} out of range"
+                    );
+                }
+                Err(_) => {} // located semantic errors are fine too
+            }
+            full_pipeline(&truncated);
+        }
+    }
+}
+
+#[test]
+fn byte_truncation_never_panics() {
+    let src = suite::source("seq4").unwrap();
+    for cut in 0..src.len() {
+        if !src.is_char_boundary(cut) {
+            continue;
+        }
+        full_pipeline(&src[..cut]);
+    }
+}
+
+#[test]
+fn hostile_fragments_error_with_locations() {
+    let cases = [
+        // (source, must-contain)
+        (".bogus x\n", "line 1"),
+        (".model m\nstray content\n", "line 2"),
+        (".model m\n.inputs a a\n", "declared twice"),
+        (".model m\n.inputs a\n.outputs a\n", "declared twice"),
+        (".model m\n.inputs a\n.graph\np q\n", "line 4"),
+        (".model m\n.inputs a\n.marking { <a+ \n", "unclosed"),
+        (".model m\n.init a\n", "line 2"),
+        (".model m\n.init a=2\n", "line 2"),
+        (".model m\n.capacity p1\n", "unsupported"),
+        (".model m\n.inputs a\n.graph\na+ <b>\n", "line 4"),
+        (
+            ".model m\n.inputs a\n.graph\na+ a-\n.marking { nowhere }\n",
+            "line 5",
+        ),
+        (
+            ".model m\n.inputs a\n.graph\na+ a-\n.marking { <a-,a+> }\n",
+            "no implicit place",
+        ),
+        (
+            ".model m\n.inputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.init b=1\n",
+            "unknown signal",
+        ),
+    ];
+    for (src, needle) in cases {
+        let err = parse_g(src).expect_err(src).to_string();
+        assert!(err.contains(needle), "{src:?} → {err:?}");
+    }
+    // Undeclared signals keep their dedicated variant.
+    assert!(matches!(
+        parse_g(".model m\n.graph\nq+ r+\n"),
+        Err(StgError::UnknownSignal(_))
+    ));
+}
+
+#[test]
+fn degenerate_but_wellformed_inputs_do_not_panic_downstream() {
+    // No outputs at all: parse succeeds, synthesis refuses.
+    let src = ".model m\n.inputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n";
+    let stg = parse_g(src).unwrap();
+    let sg = StateGraph::build(&stg).unwrap();
+    assert!(matches!(complex_gate(&stg, &sg), Err(StgError::NoOutputs)));
+    // Empty graph: no transitions anywhere.
+    full_pipeline(".model m\n.inputs a\n.outputs b\n.graph\n");
+    // Huge instance numbers parse without overflow panics.
+    full_pipeline(".model m\n.inputs a\n.outputs b\n.graph\na+/4294967295 b+\n");
+    // Deep fan-out lines.
+    let mut wide = String::from(".model m\n.inputs a\n.outputs b\n.graph\na+");
+    for _ in 0..500 {
+        wide.push_str(" b+");
+    }
+    wide.push('\n');
+    full_pipeline(&wide);
+}

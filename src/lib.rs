@@ -14,7 +14,9 @@
 //!   synthesis (the benchmark substrate);
 //! * [`core`] — the CSSG synchronous abstraction and the serial ATPG flow;
 //! * [`engine`] — the fault-parallel orchestration engine (sharded
-//!   workers, work stealing, test broadcasting, deterministic merge).
+//!   workers, work stealing, test broadcasting, deterministic merge);
+//! * [`serve`] — the persistent service daemon (job scheduling,
+//!   cross-request symbolic caching, streaming telemetry).
 //!
 //! # Quickstart
 //!
@@ -30,6 +32,7 @@ pub use satpg_bdd as bdd;
 pub use satpg_core as core;
 pub use satpg_engine as engine;
 pub use satpg_netlist as netlist;
+pub use satpg_serve as serve;
 pub use satpg_sim as sim;
 pub use satpg_stg as stg;
 

@@ -12,16 +12,26 @@
 //! satpg engine <bench|-> [--workers N] [--no-broadcast] [--no-audit]
 //!                                    # fault-parallel ATPG; `-` reads .ckt
 //!                                    # from stdin (pipe from `satpg gen`)
+//! satpg serve  [--addr A] [--serve-workers N] [--queue-depth N] ...
+//!                                    # persistent service daemon
+//! satpg submit <bench|-> [--addr A] ...   # submit a job to the daemon
+//! satpg status [--addr A]            # daemon scheduler/cache counters
+//! satpg shutdown [--addr A]          # stop the daemon cleanly
 //! ```
 
+use satpg::core::json::Json;
 use satpg::core::report::{format_table, TableRow};
 use satpg::core::tester::TestProgram;
 use satpg::core::{build_cssg, run_atpg, AtpgConfig, CssgConfig, FaultModel, ThreePhaseConfig};
 use satpg::engine::{run_engine, EngineConfig};
 use satpg::netlist::{parse_ckt, to_ckt, Circuit};
+use satpg::serve::{CircuitSpec, Client, JobSpec, ServeConfig, Server};
 use satpg::stg::synth::{complex_gate, two_level, Redundancy};
 use satpg::stg::{suite, StateGraph};
 use std::process::ExitCode;
+
+/// Default daemon address for `serve`/`submit`/`status`/`shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:9117";
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -30,14 +40,22 @@ fn usage() -> ExitCode {
            list\n  \
            synth <bench> [--style si|2l|2lr]\n  \
            cssg  <bench> [--style si|2l|2lr] [--k N]\n  \
-           atpg  <bench> [--style si|2l|2lr] [--output-model] [--collapse] [--no-random] [--program]\n  \
+           atpg  <bench> [--style si|2l|2lr] [--output-model] [--collapse] [--no-random]\n          \
+                  [--program] [--json]\n  \
            scan  <bench> [--style si|2l|2lr]\n  \
            table <1|2>\n  \
            dot   <bench> [--style si|2l|2lr]\n  \
            gen   <muller|dme|arbiter|seq> [--size K]\n  \
            engine <bench|-> [--style si|2l|2lr] [--k N] [--workers N] [--output-model]\n          \
-                  [--collapse] [--no-random] [--no-broadcast] [--no-audit]\n          \
-                  [--gc-threshold N]  # sweep worker BDDs above N live nodes"
+                  [--collapse] [--no-random] [--no-broadcast] [--no-audit] [--json]\n          \
+                  [--gc-threshold N]  # sweep worker BDDs above N live nodes\n  \
+           serve  [--addr HOST:PORT|unix:PATH] [--serve-workers N] [--queue-depth N]\n          \
+                  [--cache-size N] [--workers N] [--gc-threshold N]\n  \
+           submit <bench|-> [--addr A] [--style si|2l|2lr] [--family F --size K]\n          \
+                  [--workers N] [--gc-threshold N] [--k N] [--output-model] [--collapse]\n          \
+                  [--no-random] [--json]   # `-` submits .g or .ckt text from stdin\n  \
+           status [--addr A] [--json]\n  \
+           shutdown [--addr A]"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +73,12 @@ struct Opts {
     no_broadcast: bool,
     no_audit: bool,
     gc_threshold: Option<usize>,
+    json: bool,
+    addr: String,
+    family: Option<String>,
+    serve_workers: usize,
+    queue_depth: usize,
+    cache_size: usize,
 }
 
 fn parse_opts(args: &[String]) -> Option<Opts> {
@@ -71,6 +95,12 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         no_broadcast: false,
         no_audit: false,
         gc_threshold: None,
+        json: false,
+        addr: DEFAULT_ADDR.into(),
+        family: None,
+        serve_workers: 2,
+        queue_depth: 16,
+        cache_size: 64,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -86,11 +116,23 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--no-broadcast" => o.no_broadcast = true,
             "--no-audit" => o.no_audit = true,
             "--gc-threshold" => o.gc_threshold = Some(it.next()?.parse().ok()?),
+            "--json" => o.json = true,
+            "--addr" => o.addr = it.next()?.clone(),
+            "--family" => o.family = Some(it.next()?.clone()),
+            "--serve-workers" => o.serve_workers = it.next()?.parse().ok()?,
+            "--queue-depth" => o.queue_depth = it.next()?.parse().ok()?,
+            "--cache-size" => o.cache_size = it.next()?.parse().ok()?,
             "-" if o.bench.is_none() => o.bench = Some("-".to_string()),
             s if !s.starts_with('-') && o.bench.is_none() => o.bench = Some(s.to_string()),
             _ => return None,
         }
     }
+    Some(o)
+}
+
+/// Parses options and requires a positional benchmark argument.
+fn parse_opts_bench(args: &[String]) -> Option<Opts> {
+    let o = parse_opts(args)?;
     o.bench.as_ref()?;
     Some(o)
 }
@@ -182,7 +224,7 @@ fn main() -> ExitCode {
             _ => usage(),
         },
         "gen" => {
-            let Some(o) = parse_opts(&args[1..]) else {
+            let Some(o) = parse_opts_bench(&args[1..]) else {
                 return usage();
             };
             let family = o.bench.as_deref().expect("checked");
@@ -197,7 +239,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "engine" => {
-            let Some(o) = parse_opts(&args[1..]) else {
+            let Some(o) = parse_opts_bench(&args[1..]) else {
                 return usage();
             };
             let name = o.bench.as_deref().expect("checked");
@@ -251,6 +293,10 @@ fn main() -> ExitCode {
             };
             match run_engine(&ckt, &cfg) {
                 Ok(out) => {
+                    if o.json {
+                        println!("{}", out.to_json_value(true).render());
+                        return ExitCode::SUCCESS;
+                    }
                     let r = &out.report;
                     println!(
                         "{}: {}/{} detected ({:.2}% coverage, {:.2}% efficiency), {} untestable, {} aborted, {} tests, {} us",
@@ -297,8 +343,14 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "synth" | "cssg" | "atpg" | "dot" | "scan" => {
+        "serve" | "submit" | "status" | "shutdown" => {
             let Some(o) = parse_opts(&args[1..]) else {
+                return usage();
+            };
+            service_command(cmd, &o)
+        }
+        "synth" | "cssg" | "atpg" | "dot" | "scan" => {
+            let Some(o) = parse_opts_bench(&args[1..]) else {
                 return usage();
             };
             let name = o.bench.as_deref().expect("checked");
@@ -332,12 +384,13 @@ fn main() -> ExitCode {
                     match build_cssg(&ckt, &cfg) {
                         Ok(c) => {
                             println!(
-                                "CSSG(k={}): {} stable states, {} edges; pruned {} non-confluent, {} unstable",
+                                "CSSG(k={}): {} stable states, {} edges; pruned {} non-confluent, {} unstable; {} truncated at resource limits",
                                 c.k(),
                                 c.num_states(),
                                 c.num_edges(),
                                 c.pruned_nonconfluent(),
-                                c.pruned_unstable()
+                                c.pruned_unstable(),
+                                c.pruned_truncated()
                             );
                         }
                         Err(e) => {
@@ -368,6 +421,10 @@ fn main() -> ExitCode {
                     };
                     match run_atpg(&ckt, &cfg) {
                         Ok(r) => {
+                            if o.json {
+                                println!("{}", r.to_json());
+                                return ExitCode::SUCCESS;
+                            }
                             println!(
                                 "{}: {}/{} detected ({:.2}% coverage, {:.2}% efficiency), {} untestable, {} aborted, {} tests, {} us",
                                 r.circuit,
@@ -427,6 +484,285 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// The `serve` / `submit` / `status` / `shutdown` commands.
+fn service_command(cmd: &str, o: &Opts) -> ExitCode {
+    match cmd {
+        "serve" => {
+            let cfg = ServeConfig {
+                addr: o.addr.clone(),
+                pool_workers: o.serve_workers,
+                queue_depth: o.queue_depth,
+                cache_entries: o.cache_size,
+                default_job_workers: o.workers,
+                gc_threshold: o.gc_threshold,
+            };
+            let server = match Server::bind(cfg) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: bind {}: {e}", o.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Scripts scrape this line for the ephemeral port.
+            println!("listening on {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            match server.run() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "submit" => {
+            let circuit = match submit_spec(o) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let spec = JobSpec {
+                circuit,
+                workers: o.workers,
+                gc_threshold: o.gc_threshold,
+                output_model: o.output_model,
+                collapse: o.collapse,
+                no_random: o.no_random,
+                k: o.k,
+            };
+            let mut client = match Client::connect(&o.addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: connect {}: {e}", o.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let quiet = o.json;
+            let outcome = client.submit_streaming(spec, &mut |ev| {
+                if !quiet {
+                    print_event(ev);
+                }
+            });
+            match outcome {
+                Ok(out) => {
+                    if o.json {
+                        println!("{}", out.report.render());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "status" => {
+            let mut client = match Client::connect(&o.addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: connect {}: {e}", o.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.status() {
+                Ok(status) => {
+                    if o.json {
+                        println!("{status}");
+                    } else {
+                        print_status(&status);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "shutdown" => {
+            let mut client = match Client::connect(&o.addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: connect {}: {e}", o.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.shutdown() {
+                Ok(()) => {
+                    println!("daemon at {} shutting down", o.addr);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Builds the circuit spec a `submit` sends: a family, a named
+/// benchmark, or stdin text (`.g` when it uses dot-directives,
+/// `.ckt` otherwise).
+fn submit_spec(o: &Opts) -> Result<CircuitSpec, String> {
+    if let Some(family) = &o.family {
+        return Ok(CircuitSpec::Family {
+            name: family.clone(),
+            size: o.size.unwrap_or(4),
+        });
+    }
+    match o.bench.as_deref() {
+        Some("-") => {
+            let mut text = String::new();
+            use std::io::Read as _;
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            let looks_like_g = text
+                .lines()
+                .map(|l| l.split('#').next().unwrap_or("").trim())
+                .find(|l| !l.is_empty())
+                .is_some_and(|l| l.starts_with('.'));
+            Ok(if looks_like_g {
+                CircuitSpec::InlineG {
+                    text,
+                    style: o.style.clone(),
+                }
+            } else {
+                CircuitSpec::InlineCkt { text }
+            })
+        }
+        Some(name) => Ok(CircuitSpec::Bench {
+            name: name.to_string(),
+            style: o.style.clone(),
+        }),
+        None => Err("submit needs a benchmark name, `-` (stdin) or --family".to_string()),
+    }
+}
+
+/// One human-readable line per streamed event.
+fn print_event(ev: &Json) {
+    let kind = ev.get("event").and_then(Json::as_str).unwrap_or("?");
+    let get = |k: &str| ev.get(k).and_then(Json::as_u128).unwrap_or(0);
+    match kind {
+        "accepted" => println!(
+            "job {} accepted (queue depth {})",
+            get("job"),
+            get("queue_depth")
+        ),
+        "stage" => {
+            let stage = ev.get("stage").and_then(Json::as_str).unwrap_or("?");
+            match stage {
+                "circuit" => println!(
+                    "  circuit {} ({}): {} gates, {} inputs",
+                    ev.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    ev.get("cache").and_then(Json::as_str).unwrap_or("?"),
+                    get("gates"),
+                    get("inputs")
+                ),
+                "cssg" => println!(
+                    "  cssg ({}): {} states, {} edges, {} truncated, {} us",
+                    ev.get("cache").and_then(Json::as_str).unwrap_or("?"),
+                    get("states"),
+                    get("edges"),
+                    get("truncated"),
+                    get("us")
+                ),
+                "random" => println!("  random: {} resolved, {} us", get("resolved"), get("us")),
+                "parallel" => println!(
+                    "  parallel: {} workers over {} classes",
+                    get("workers"),
+                    get("pending")
+                ),
+                "merge" => println!("  merge: {} fallbacks, {} us", get("fallbacks"), get("us")),
+                other => println!("  stage {other}"),
+            }
+        }
+        "test" => println!(
+            "  worker {} found a {}-cycle test for class {}",
+            get("worker"),
+            get("cycles"),
+            get("class")
+        ),
+        "worker" => {
+            if let Some(s) = ev.get("stats") {
+                let g = |k: &str| s.get(k).and_then(Json::as_u128).unwrap_or(0);
+                println!(
+                    "  worker {}: searched {} (stolen {}), tests {}, drops {}, gc {} sweeps / {} reclaimed (peak {}), busy {} us",
+                    g("worker"), g("searched"), g("stolen"), g("tests_found"),
+                    g("broadcast_drops"), g("bdd_gc_runs"), g("bdd_reclaimed"),
+                    g("bdd_peak_unique"), g("us_busy")
+                );
+            }
+        }
+        "report" => {
+            if let Some(r) = ev.get("report") {
+                let t = |k: &str| {
+                    r.get("totals")
+                        .and_then(|t| t.get(k))
+                        .and_then(Json::as_u128)
+                        .unwrap_or(0)
+                };
+                println!(
+                    "{}: {}/{} detected ({:.2}% coverage, {:.2}% efficiency), {} untestable, {} aborted",
+                    r.get("circuit").and_then(Json::as_str).unwrap_or("?"),
+                    t("detected"),
+                    t("faults"),
+                    r.get("coverage_pct").and_then(Json::as_f64).unwrap_or(0.0),
+                    r.get("efficiency_pct").and_then(Json::as_f64).unwrap_or(0.0),
+                    t("untestable"),
+                    t("aborted")
+                );
+            }
+        }
+        // The error event surfaces as the submit's returned error;
+        // printing it here too would duplicate the message.
+        "error" => {}
+        _ => println!("{ev}"),
+    }
+}
+
+fn print_status(status: &Json) {
+    let jobs = |k: &str| {
+        status
+            .get("jobs")
+            .and_then(|j| j.get(k))
+            .and_then(Json::as_u128)
+            .unwrap_or(0)
+    };
+    println!(
+        "jobs: {} queued, {} running, {} done, {} failed, {} rejected",
+        jobs("queued"),
+        jobs("running"),
+        jobs("done"),
+        jobs("failed"),
+        jobs("rejected")
+    );
+    for level in ["circuits", "cssgs"] {
+        if let Some(c) = status.get("cache").and_then(|c| c.get(level)) {
+            let g = |k: &str| c.get(k).and_then(Json::as_u128).unwrap_or(0);
+            println!(
+                "cache {level}: {} entries, {} hits, {} misses, {} evictions",
+                g("entries"),
+                g("hits"),
+                g("misses"),
+                g("evictions")
+            );
+        }
+    }
+    let top = |k: &str| status.get(k).and_then(Json::as_u128).unwrap_or(0);
+    println!(
+        "peak bdd nodes {}, queue depth {}, pool workers {}, uptime {} us",
+        top("peak_bdd_nodes"),
+        top("queue_depth"),
+        top("pool_workers"),
+        top("uptime_us")
+    );
 }
 
 fn row_for(ckt: &Circuit, name: &str) -> TableRow {
