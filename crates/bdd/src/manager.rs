@@ -881,6 +881,39 @@ impl Manager {
         r
     }
 
+    /// Copies the function `f` owned by `src` into this manager,
+    /// returning the equivalent handle here.
+    ///
+    /// The copy shares structure per-manager (hash-consing applies on
+    /// both sides) and is memoised per source node, so the cost is one
+    /// `mk` per distinct node of `f`.  `import` never triggers a sweep
+    /// in either manager; the returned handle is unrooted, so protect it
+    /// before running further operations under an auto-GC policy.
+    ///
+    /// This is what lets read-only consumers fan a relation out to
+    /// private per-thread managers (a `&Manager` is `Sync`): build once,
+    /// import everywhere.
+    pub fn import(&mut self, src: &Manager, f: Bdd) -> Bdd {
+        self.ensure_vars(src.num_vars());
+        let mut memo: FxMap<u32, u32> = FxMap::default();
+        self.import_rec(src, f, &mut memo)
+    }
+
+    fn import_rec(&mut self, src: &Manager, f: Bdd, memo: &mut FxMap<u32, u32>) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return Bdd(r);
+        }
+        let n = src.node(f);
+        let lo = self.import_rec(src, n.lo, memo);
+        let hi = self.import_rec(src, n.hi, memo);
+        let r = self.mk(n.var, lo, hi);
+        memo.insert(f.0, r.0);
+        r
+    }
+
     /// Cofactor of `f` with variable `v` fixed to `val`.
     pub fn restrict(&mut self, f: Bdd, v: u32, val: bool) -> Bdd {
         let mut memo: FxMap<u32, u32> = FxMap::default();
@@ -969,10 +1002,13 @@ impl Manager {
 
 // Each engine worker owns a private `Manager` and managers migrate into
 // worker threads, so the type must stay `Send` (it holds no interior
-// sharing).  Compile-time assertion: breaking this fails the build.
+// sharing).  The sharded symbolic-CSSG diagnostics additionally share a
+// built relation's manager read-only across shard threads (each one
+// `import`s from it), so `&Manager` must stay `Sync` too.  Compile-time
+// assertions: breaking either fails the build.
 const _: () = {
-    const fn assert_send<T: Send>() {}
-    assert_send::<Manager>()
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Manager>()
 };
 
 #[cfg(test)]
@@ -1306,6 +1342,59 @@ mod tests {
         assert!(stats.reclaimed > 0);
         assert_eq!(stats.generation, 1);
         m.unprotect(f);
+    }
+
+    #[test]
+    fn import_copies_functions_across_managers() {
+        let mut src = Manager::new(6);
+        let (a, b, c) = (src.var(0), src.var(1), src.var(2));
+        let ab = src.and(a, b);
+        let f = src.xor(ab, c);
+
+        let mut dst = Manager::new(0); // import grows the variable count
+        let g = dst.import(&src, f);
+        assert_eq!(dst.num_vars(), 6);
+        for x in 0..8u32 {
+            let asg = |v: u32| x >> v & 1 == 1;
+            assert_eq!(src.eval(f, &asg), dst.eval(g, &asg), "assignment {x:#b}");
+        }
+        // Canonicity on the destination side: rebuilding the same
+        // function natively lands on the imported node.
+        let (a2, b2, c2) = (dst.var(0), dst.var(1), dst.var(2));
+        let ab2 = dst.and(a2, b2);
+        assert_eq!(dst.xor(ab2, c2), g);
+        // Terminals import to themselves.
+        assert_eq!(dst.import(&src, Bdd::TRUE), Bdd::TRUE);
+        assert_eq!(dst.import(&src, Bdd::FALSE), Bdd::FALSE);
+        // Same node count: the copy shares structure exactly.
+        assert_eq!(src.node_count(f), dst.node_count(g));
+    }
+
+    #[test]
+    fn import_into_gc_managed_manager_survives_sweeps() {
+        let mut src = Manager::new(8);
+        let mut f = Bdd::TRUE;
+        for v in 0..8 {
+            let x = src.var(v);
+            f = if v % 2 == 0 {
+                src.and(f, x)
+            } else {
+                src.xor(f, x)
+            };
+        }
+        let mut dst = Manager::new(8);
+        dst.set_gc_threshold(Some(4));
+        let g = dst.import(&src, f);
+        // import itself never sweeps; root the result and churn.
+        dst.protect(g);
+        let y = dst.var(3);
+        let ny = dst.not(y);
+        let _churn = dst.and(ny, y);
+        for x in 0..256u32 {
+            let asg = |v: u32| x >> v & 1 == 1;
+            assert_eq!(src.eval(f, &asg), dst.eval(g, &asg));
+        }
+        dst.unprotect(g);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Random TPG is disabled so every fault class reaches the parallel
 //! targeted phase — the component whose scaling is under test.
 
-use satpg_core::AtpgConfig;
+use satpg_core::{build_cssg_sharded, AtpgConfig, CssgConfig};
 use satpg_engine::{run_engine, EngineConfig};
 use satpg_netlist::{families as nf, Circuit};
 use satpg_stg::synth::complex_gate;
@@ -35,6 +35,7 @@ fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, Stri
         broadcast: true,
         symbolic_audit: false,
         gc_threshold: None,
+        cssg_shards: 1,
     };
     // Warm-up, then best-of-`reps` wall clock.
     let mut best = u128::MAX;
@@ -75,6 +76,7 @@ fn measure_memory(label: &str, ckt: &Circuit, gc_threshold: Option<usize>) -> St
         broadcast: true,
         symbolic_audit: true,
         gc_threshold,
+        cssg_shards: 1,
     };
     let out = run_engine(ckt, &cfg).expect("engine runs");
     let peak = out
@@ -95,6 +97,33 @@ fn measure_memory(label: &str, ckt: &Circuit, gc_threshold: Option<usize>) -> St
     )
 }
 
+/// Sharded-CSSG-construction probe: wall clock of
+/// [`build_cssg_sharded`] vs shard count, on the workload whose serial
+/// build dominates engine start-up (a deep Muller pipeline).
+fn measure_cssg_shards(label: &str, ckt: &Circuit, shards: usize, reps: u32) -> (u128, String) {
+    let cfg = CssgConfig::default();
+    let mut best = u128::MAX;
+    let mut last = None;
+    for _ in 0..=reps {
+        let t = Instant::now();
+        let cssg = build_cssg_sharded(ckt, &cfg, shards).expect("CSSG builds");
+        let us = t.elapsed().as_micros();
+        if last.is_some() {
+            best = best.min(us);
+        }
+        last = Some(cssg);
+    }
+    let cssg = last.expect("built at least once");
+    let json = format!(
+        "{{\"bench\":\"cssg_shard_scaling\",\"workload\":\"{label}\",\"shards\":{shards},\
+         \"best_us\":{best},\"states\":{},\"edges\":{},\"truncated\":{}}}",
+        cssg.num_states(),
+        cssg.num_edges(),
+        cssg.pruned_truncated(),
+    );
+    (best, json)
+}
+
 fn main() {
     let workloads: Vec<(&str, Circuit)> = vec![
         ("dme_ring5", dme_circuit(5)),
@@ -103,6 +132,26 @@ fn main() {
     ];
     let mut trajectory = String::from("[\n");
     let mut first = true;
+
+    // CSSG construction scaling on the build-bound workload.
+    let shard_ckt = nf::muller_pipeline(16);
+    let mut shard_base = 0u128;
+    for shards in [1usize, 2, 4] {
+        let (best, json) = measure_cssg_shards("muller_pipe16", &shard_ckt, shards, 2);
+        if shards == 1 {
+            shard_base = best;
+        }
+        let speedup = shard_base as f64 / best.max(1) as f64;
+        println!(
+            "bench cssg_shard_scaling/muller_pipe16/s{shards:<2} {best:>10} us  (speedup x{speedup:.2})"
+        );
+        println!("{json}");
+        if !first {
+            trajectory.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(trajectory, "  {json}");
+    }
     for (label, ckt) in &workloads {
         let mut base_us = 0u128;
         for workers in [1usize, 2, 4, 8] {

@@ -174,6 +174,15 @@ impl AtpgReport {
     }
 }
 
+/// The fault list a model targets — the single dispatch point shared by
+/// the serial driver, the engine, the daemon and the CLI.
+pub fn faults_for(ckt: &Circuit, model: FaultModel) -> Vec<Fault> {
+    match model {
+        FaultModel::InputStuckAt => input_stuck_faults(ckt),
+        FaultModel::OutputStuckAt => output_stuck_faults(ckt),
+    }
+}
+
 /// Runs the full flow on `ckt`.
 ///
 /// # Errors
@@ -188,19 +197,18 @@ pub fn run_atpg(ckt: &Circuit, cfg: &AtpgConfig) -> Result<AtpgReport> {
     if cssg.num_edges() == 0 {
         return Err(CoreError::NoValidVectors);
     }
-    let faults = match cfg.fault_model {
-        FaultModel::InputStuckAt => input_stuck_faults(ckt),
-        FaultModel::OutputStuckAt => output_stuck_faults(ckt),
-    };
+    let faults = faults_for(ckt, cfg.fault_model);
     run_atpg_on(ckt, &cssg, &faults, cfg, us_cssg)
 }
 
-/// Runs the flow against an explicit fault list and a prebuilt CSSG.
+/// Runs the flow against an explicit fault list and a prebuilt CSSG
+/// (e.g. one constructed by [`crate::build_cssg_sharded`] or served
+/// from a cache); `us_cssg` is the construction time to attribute.
 ///
 /// This is the serial driver over the resumable stages of
 /// [`crate::stages`]: plan → random → targeted (with the real
 /// [`three_phase`] as the verdict oracle) → report.
-pub(crate) fn run_atpg_on(
+pub fn run_atpg_on(
     ckt: &Circuit,
     cssg: &Cssg,
     faults: &[Fault],

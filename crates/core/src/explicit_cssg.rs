@@ -1,11 +1,20 @@
 //! Explicit CSSG construction: enumerate stable states and validate every
 //! input pattern with the k-bounded settling analysis.
+//!
+//! Two entry points share one semantics: [`build_cssg`] explores the
+//! reachable stable states serially, [`build_cssg_sharded`] splits the
+//! reachability frontier across worker threads (each with its private
+//! interleaving-set tracking inside [`settle_explicit`]) and then merges
+//! deterministically — the result is **bit-identical** to the serial
+//! build for any shard count (see `crates/core/DESIGN.md`).
 
 use crate::cssg::Cssg;
 use crate::error::CoreError;
 use crate::Result;
-use satpg_netlist::Circuit;
+use satpg_netlist::{Bits, Circuit};
 use satpg_sim::{settle_explicit, ExplicitConfig, Injection, Settle};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 
 /// Configuration for [`build_cssg`].
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +51,21 @@ impl CssgConfig {
     }
 }
 
+/// The shared precondition prologue of both builders: a divergence here
+/// would let one entry point accept circuits the other rejects.
+fn validate(ckt: &Circuit) -> Result<()> {
+    if ckt.num_inputs() > 63 {
+        return Err(CoreError::TooManyInputs(ckt.num_inputs()));
+    }
+    if ckt.outputs().len() > 64 {
+        return Err(CoreError::TooManyOutputs(ckt.outputs().len()));
+    }
+    if !ckt.is_stable(ckt.initial_state()) {
+        return Err(CoreError::NoStableReset);
+    }
+    Ok(())
+}
+
 /// Builds the CSSG of `ckt` from its reset state by forward exploration:
 /// every input pattern is tried in every discovered stable state, and
 /// kept only when the settling analysis proves confluence within `k`
@@ -56,15 +80,7 @@ impl CssgConfig {
 /// [`CoreError::TooManyInputs`] for more than 63 inputs, or
 /// [`CoreError::CssgOverflow`] when the state budget is exceeded.
 pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
-    if ckt.num_inputs() > 63 {
-        return Err(CoreError::TooManyInputs(ckt.num_inputs()));
-    }
-    if ckt.outputs().len() > 64 {
-        return Err(CoreError::TooManyOutputs(ckt.outputs().len()));
-    }
-    if !ckt.is_stable(ckt.initial_state()) {
-        return Err(CoreError::NoStableReset);
-    }
+    validate(ckt)?;
     let ecfg = cfg.explicit(ckt);
     let mut cssg = Cssg::new(ckt.num_inputs(), ecfg.k);
     let root = cssg.intern(ckt.initial_state().clone());
@@ -97,6 +113,267 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
                 Settle::Overflow => cssg.note_truncated(),
             }
         }
+    }
+    cssg.sort_edges();
+    Ok(cssg)
+}
+
+/// Shared exploration state of the sharded builder: the global intern
+/// table plus the work queue of `(state, pattern)` pairs still awaiting
+/// their settling analysis.  The pair — not the state — is the work
+/// unit, so even a chain-shaped CSSG (e.g. a deep Muller pipeline,
+/// whose frontier rarely holds more than a couple of states) exposes
+/// `patterns − 1` units of parallelism per discovered state.  Workers
+/// hold the lock only to pop work and intern successors; every settling
+/// analysis runs outside it.
+struct Explore {
+    index: HashMap<Bits, u32>,
+    states: Vec<Bits>,
+    /// Per queued state: `(id, next pattern to hand out, the state's
+    /// own pattern)`.  Patterns are dealt lazily from this cursor — a
+    /// wide-input circuit has `2^inputs` of them per state, so
+    /// materializing the pairs (as the first cut of this code did)
+    /// would hold the lock for an exponential push burst where the
+    /// serial builder loops in O(1) memory.
+    queue: VecDeque<(u32, u64, u64)>,
+    /// Workers currently mid-analysis (their successors are not queued
+    /// yet, so an empty queue alone does not mean done).
+    active: usize,
+    /// Set on state-budget overflow; everyone drains and exits.
+    overflow: bool,
+}
+
+impl Explore {
+    /// Interns `state`, queueing a fresh pattern cursor for a newly
+    /// discovered one.  Returns the id, or `None` on state-budget
+    /// overflow.
+    fn intern(&mut self, ckt: &Circuit, state: Bits, max_states: usize) -> Option<u32> {
+        if let Some(&i) = self.index.get(&state) {
+            return Some(i);
+        }
+        let i = self.states.len() as u32;
+        let current = ckt.input_pattern(&state);
+        self.index.insert(state.clone(), i);
+        self.states.push(state);
+        if self.states.len() > max_states {
+            self.overflow = true;
+            return None;
+        }
+        self.queue.push_back((i, 0, current));
+        Some(i)
+    }
+
+    /// Deals the next `(state, pattern)` pair, skipping each state's
+    /// own pattern (the paper's `R_I` requires an input change) and
+    /// retiring exhausted cursors.
+    fn next_pair(&mut self, npatterns: u64) -> Option<(u32, u64)> {
+        loop {
+            let &mut (si, ref mut next, current) = self.queue.front_mut()?;
+            if *next == current {
+                *next += 1;
+            }
+            if *next >= npatterns {
+                self.queue.pop_front();
+                continue;
+            }
+            let pattern = *next;
+            *next += 1;
+            return Some((si, pattern));
+        }
+    }
+}
+
+/// One worker's private discoveries, merged after the join.
+#[derive(Default)]
+struct ShardResult {
+    /// `(from, pattern, to)` over exploration-order state ids.
+    edges: Vec<(u32, u64, u32)>,
+    nonconfluent: usize,
+    unstable: usize,
+    truncated: usize,
+}
+
+/// [`build_cssg`] with the frontier split across `shards` worker
+/// threads.
+///
+/// The exploration interns states in a nondeterministic (scheduling
+/// dependent) order, so the merge renumbers them by replaying the serial
+/// builder's traversal over the completed edge relation: depth-first
+/// from the reset state, successors pushed in ascending pattern order.
+/// Serial numbering is a pure function of the graph, so the renumbered
+/// result — states, edge lists, and the summed pruning/truncation
+/// counters — is bit-identical to [`build_cssg`]'s for every shard
+/// count (`shards <= 1` simply dispatches to the serial builder, which
+/// skips the locking and the merge).
+///
+/// # Errors
+///
+/// Exactly the conditions of [`build_cssg`].
+pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Result<Cssg> {
+    if shards <= 1 {
+        return build_cssg(ckt, cfg);
+    }
+    validate(ckt)?;
+    let ecfg = cfg.explicit(ckt);
+    let mut explore = Explore {
+        index: HashMap::new(),
+        states: Vec::new(),
+        queue: VecDeque::new(),
+        active: 0,
+        overflow: false,
+    };
+    explore.intern(ckt, ckt.initial_state().clone(), cfg.max_states);
+    let shared = Mutex::new(explore);
+    let work_cv = Condvar::new();
+
+    let results: Vec<ShardResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|_| scope.spawn(|| shard_loop(ckt, &ecfg, cfg, &shared, &work_cv)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("CSSG shard worker panicked"))
+            .collect()
+    });
+
+    let explore = shared.into_inner().expect("exploration lock");
+    if explore.overflow {
+        return Err(CoreError::CssgOverflow(cfg.max_states));
+    }
+    merge_shards(ckt, &ecfg, explore, &results)
+}
+
+/// One shard's loop: pop a `(state, pattern)` pair, run its k-bounded
+/// settling analysis privately, publish the verdict under the lock.
+fn shard_loop(
+    ckt: &Circuit,
+    ecfg: &ExplicitConfig,
+    cfg: &CssgConfig,
+    shared: &Mutex<Explore>,
+    work_cv: &Condvar,
+) -> ShardResult {
+    let inj = Injection::none();
+    let npatterns = 1u64 << ckt.num_inputs();
+    let mut local = ShardResult::default();
+    // A worker usually deals consecutive patterns of the same state (a
+    // cursor drains front-of-queue), so cache the last state and clone
+    // under the lock only when the id changes.
+    let mut cached: Option<(u32, Bits)> = None;
+    loop {
+        // Pop the next pair (or conclude the exploration is complete:
+        // queue empty and nobody mid-analysis).
+        let (si, pattern) = {
+            let mut ex = shared.lock().expect("exploration lock");
+            loop {
+                if ex.overflow {
+                    return local;
+                }
+                if let Some((si, pattern)) = ex.next_pair(npatterns) {
+                    ex.active += 1;
+                    if cached.as_ref().map(|c| c.0) != Some(si) {
+                        cached = Some((si, ex.states[si as usize].clone()));
+                    }
+                    break (si, pattern);
+                }
+                if ex.active == 0 {
+                    work_cv.notify_all();
+                    return local;
+                }
+                ex = work_cv.wait(ex).expect("exploration lock");
+            }
+        };
+        let state = &cached.as_ref().expect("state cached at pop").1;
+
+        // The expensive part — the settling analysis, with this thread's
+        // private interleaving-set tracking — runs unlocked.
+        let verdict = settle_explicit(ckt, state, pattern, &inj, ecfg);
+
+        let mut ex = shared.lock().expect("exploration lock");
+        match verdict {
+            Settle::Confluent(next) => match ex.intern(ckt, next, cfg.max_states) {
+                Some(ni) => {
+                    local.edges.push((si, pattern, ni));
+                    // A new state enqueues a burst of pairs; wake every
+                    // idle shard, not just one.
+                    work_cv.notify_all();
+                }
+                None => {
+                    work_cv.notify_all();
+                    return local;
+                }
+            },
+            Settle::NonConfluent(_) => local.nonconfluent += 1,
+            Settle::Unstable(_) => local.unstable += 1,
+            // The interleaving set blew its cap: the pair is dropped
+            // without a verdict — a truncation, not a proof.
+            Settle::Overflow => local.truncated += 1,
+        }
+        ex.active -= 1;
+        if ex.active == 0 {
+            // Wake everyone: either the exploration is done (waiters see
+            // an empty queue — possibly after retiring a cursor this
+            // worker exhausted — and exit) or a cursor remains and they
+            // resume dealing from it.
+            work_cv.notify_all();
+        }
+    }
+}
+
+/// Deterministic merge: collect per-state edge lists, replay the serial
+/// traversal to renumber, and assemble the final [`Cssg`].
+fn merge_shards(
+    ckt: &Circuit,
+    ecfg: &ExplicitConfig,
+    explore: Explore,
+    results: &[ShardResult],
+) -> Result<Cssg> {
+    let n = explore.states.len();
+    let mut edges_of: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+    for r in results {
+        for &(from, pattern, to) in &r.edges {
+            edges_of[from as usize].push((pattern, to));
+        }
+    }
+    // Each state is analysed by exactly one worker, which pushes its
+    // edges in ascending pattern order — but sort anyway so the replay
+    // below never depends on that invariant.
+    for e in &mut edges_of {
+        e.sort_unstable();
+    }
+
+    // Replay the serial builder's numbering: depth-first stack, new
+    // successors interned in ascending pattern order.
+    let unassigned = u32::MAX;
+    let mut new_of = vec![unassigned; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    new_of[0] = 0;
+    order.push(0);
+    let mut stack = vec![0u32];
+    while let Some(o) = stack.pop() {
+        for &(_, t) in &edges_of[o as usize] {
+            if new_of[t as usize] == unassigned {
+                new_of[t as usize] = order.len() as u32;
+                order.push(t);
+                stack.push(t);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "every explored state is reachable");
+
+    let mut cssg = Cssg::new(ckt.num_inputs(), ecfg.k);
+    for &old in &order {
+        cssg.intern(explore.states[old as usize].clone());
+    }
+    for (old, edges) in edges_of.iter().enumerate() {
+        let from = new_of[old] as usize;
+        for &(pattern, to) in edges {
+            cssg.add_edge(from, pattern, new_of[to as usize] as usize);
+        }
+    }
+    for r in results {
+        cssg.note_nonconfluent_n(r.nonconfluent);
+        cssg.note_unstable_n(r.unstable);
+        cssg.note_truncated_n(r.truncated);
     }
     cssg.sort_edges();
     Ok(cssg)
@@ -193,6 +470,79 @@ mod tests {
         for s in 0..g.num_states() {
             let cur = ckt.input_pattern(&g.states()[s]);
             assert!(g.successor(s, cur).is_none(), "no self-pattern edges");
+        }
+    }
+
+    /// Field-by-field bit identity of two CSSGs (states in order, edge
+    /// lists in order, every counter).
+    fn assert_identical(a: &Cssg, b: &Cssg, ctx: &str) {
+        assert_eq!(a.k(), b.k(), "{ctx}: k");
+        assert_eq!(a.num_inputs(), b.num_inputs(), "{ctx}: inputs");
+        assert_eq!(a.states(), b.states(), "{ctx}: state vector");
+        for s in 0..a.num_states() {
+            assert_eq!(a.edges(s), b.edges(s), "{ctx}: edges of state {s}");
+        }
+        assert_eq!(
+            a.pruned_nonconfluent(),
+            b.pruned_nonconfluent(),
+            "{ctx}: non-confluent"
+        );
+        assert_eq!(a.pruned_unstable(), b.pruned_unstable(), "{ctx}: unstable");
+        assert_eq!(
+            a.pruned_truncated(),
+            b.pruned_truncated(),
+            "{ctx}: truncated"
+        );
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_on_library() {
+        for ckt in library::all() {
+            let serial = build_cssg(&ckt, &CssgConfig::default()).unwrap();
+            for shards in 1..=4 {
+                let sharded = build_cssg_sharded(&ckt, &CssgConfig::default(), shards).unwrap();
+                assert_identical(
+                    &serial,
+                    &sharded,
+                    &format!("{} @ {shards} shards", ckt.name()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_under_exact_semantics() {
+        // The exact (no ternary fast path) semantics exercises the
+        // interleaving-set tracking on every pattern.
+        let cfg = CssgConfig {
+            ternary_fast_path: false,
+            ..CssgConfig::default()
+        };
+        let ckt = library::muller_pipeline2();
+        let serial = build_cssg(&ckt, &cfg).unwrap();
+        let sharded = build_cssg_sharded(&ckt, &cfg, 3).unwrap();
+        assert_identical(&serial, &sharded, "muller_pipeline2 exact");
+    }
+
+    #[test]
+    fn sharded_build_reports_overflow_like_serial() {
+        let ckt = library::muller_pipeline2();
+        let cfg = CssgConfig {
+            max_states: 2,
+            ..CssgConfig::default()
+        };
+        assert!(matches!(
+            build_cssg(&ckt, &cfg),
+            Err(CoreError::CssgOverflow(2))
+        ));
+        for shards in [1, 4] {
+            assert!(
+                matches!(
+                    build_cssg_sharded(&ckt, &cfg, shards),
+                    Err(CoreError::CssgOverflow(2))
+                ),
+                "{shards} shards"
+            );
         }
     }
 

@@ -41,10 +41,12 @@ pub mod symbolic;
 pub mod tester;
 mod three_phase;
 
-pub use atpg::{run_atpg, AtpgConfig, AtpgReport, FaultModel, FaultRecord, Phase};
+pub use atpg::{
+    faults_for, run_atpg, run_atpg_on, AtpgConfig, AtpgReport, FaultModel, FaultRecord, Phase,
+};
 pub use cssg::{Cssg, TestSequence};
 pub use error::CoreError;
-pub use explicit_cssg::{build_cssg, CssgConfig};
+pub use explicit_cssg::{build_cssg, build_cssg_sharded, CssgConfig};
 pub use fault::{collapse_faults, input_stuck_faults, output_stuck_faults, Fault, FaultClass};
 pub use fsim::fault_simulate;
 pub use oracle::{validate_test, Verdict};

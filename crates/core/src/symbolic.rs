@@ -93,6 +93,25 @@ impl SymbolicCssg {
         Ok(Self::construct(ckt, k, gc, true)?.0)
     }
 
+    /// [`SymbolicCssg::build_diagnostic`] with the per-reachable-state
+    /// TCR restriction work — the dominant cost of the diagnostics pass —
+    /// partitioned across `shards` threads.
+    ///
+    /// The relation itself is built once; each shard thread then
+    /// [`satpg_bdd::Manager::import`]s the TCR and stability predicate
+    /// into a private manager (under the same GC policy) and classifies
+    /// a contiguous chunk of the reachable states.  Per-state counts are
+    /// exact model counts, so summing them in state order yields
+    /// counters identical to the serial pass for every shard count.
+    pub fn build_sharded(
+        ckt: &Circuit,
+        k: Option<usize>,
+        gc: Option<usize>,
+        shards: usize,
+    ) -> Result<Cssg> {
+        Ok(Self::construct_sharded(ckt, k, gc, shards)?.0)
+    }
+
     /// The full construction with diagnostics, also returning the
     /// manager's GC telemetry (exposed for tests and benches).
     pub fn build_inner(
@@ -108,6 +127,27 @@ impl SymbolicCssg {
         k: Option<usize>,
         gc: Option<usize>,
         diagnose: bool,
+    ) -> Result<(Cssg, satpg_bdd::GcStats)> {
+        Self::construct_inner(ckt, k, gc, diagnose.then_some(1))
+    }
+
+    fn construct_sharded(
+        ckt: &Circuit,
+        k: Option<usize>,
+        gc: Option<usize>,
+        shards: usize,
+    ) -> Result<(Cssg, satpg_bdd::GcStats)> {
+        Self::construct_inner(ckt, k, gc, Some(shards.max(1)))
+    }
+
+    /// The shared construction body.  `diagnose_shards` is `None` for a
+    /// plain build, `Some(n)` for a diagnostic build whose
+    /// classification pass runs on `n` threads.
+    fn construct_inner(
+        ckt: &Circuit,
+        k: Option<usize>,
+        gc: Option<usize>,
+        diagnose_shards: Option<usize>,
     ) -> Result<(Cssg, satpg_bdd::GcStats)> {
         let nbits = ckt.num_state_bits();
         if nbits > 32 {
@@ -127,8 +167,10 @@ impl SymbolicCssg {
         let rel = s.valid_relation(ckt, k);
         s.mgr.protect(rel.valid);
         let mut cssg = s.extract(ckt, &rel, k)?;
-        if diagnose {
-            s.count_pruned(&mut cssg, &rel);
+        match diagnose_shards {
+            None => {}
+            Some(shards) if shards <= 1 => s.count_pruned(&mut cssg, &rel),
+            Some(shards) => s.count_pruned_sharded(&mut cssg, &rel, gc, shards),
         }
         s.mgr.unprotect(rel.valid);
         s.mgr.unprotect(rel.tcr);
@@ -416,20 +458,15 @@ impl SymbolicCssg {
         self.mgr.protect(not_stable_y);
         for si in 0..cssg.num_states() {
             let state = cssg.states()[si].clone();
-            let mut t_x = rel.tcr;
-            self.mgr.protect(t_x);
-            for bit in 0..nbits {
-                let r = self.mgr.restrict(t_x, 3 * bit as u32 + X, state.get(bit));
-                t_x = self.mgr.reroot(t_x, r);
-            }
-            let all_pats = self.mgr.exists(t_x, &gate_y);
-            self.mgr.protect(all_pats);
-            let unstable_part = self.mgr.and(t_x, not_stable_y);
-            let unstable_pats = self.mgr.exists(unstable_part, &gate_y);
-            let reached = self.mgr.models_packed(all_pats, &env_y).len();
-            let unstable = self.mgr.models_packed(unstable_pats, &env_y).len();
-            self.mgr.unprotect(all_pats);
-            self.mgr.unprotect(t_x);
+            let (unstable, reached) = classify_state(
+                &mut self.mgr,
+                nbits,
+                rel.tcr,
+                not_stable_y,
+                &env_y,
+                &gate_y,
+                &state,
+            );
             let valid = cssg.edges(si).len();
             cssg.note_unstable_n(unstable);
             cssg.note_nonconfluent_n(reached.saturating_sub(unstable + valid));
@@ -439,6 +476,133 @@ impl SymbolicCssg {
         }
         self.mgr.unprotect(not_stable_y);
     }
+
+    /// [`SymbolicCssg::count_pruned`] with the reachable states split
+    /// into contiguous chunks classified on worker threads.
+    ///
+    /// Each worker imports the TCR and the stability predicate into a
+    /// private manager (the built relation's manager is only read), so
+    /// no locking happens on the BDD side at all.  Per-state results are
+    /// merged back in state order; the counts are exact, so the summed
+    /// counters match the serial pass bit for bit.
+    fn count_pruned_sharded(
+        &mut self,
+        cssg: &mut Cssg,
+        rel: &Relations,
+        gc: Option<usize>,
+        shards: usize,
+    ) {
+        let n = cssg.num_states();
+        if n == 0 {
+            return;
+        }
+        let nbits = self.nbits;
+        let m_inputs = self.m;
+        let states: Vec<Bits> = cssg.states().to_vec();
+        let chunk = n.div_ceil(shards.max(1));
+        let ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+            .filter(|&(lo, hi)| lo < hi)
+            .collect();
+        let src = &self.mgr;
+        let counts: Vec<Vec<(usize, usize)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let states = &states;
+                    scope.spawn(move || {
+                        classify_states(
+                            src,
+                            nbits,
+                            m_inputs,
+                            gc,
+                            rel.tcr,
+                            rel.stable_y,
+                            &states[lo..hi],
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("symbolic shard worker panicked"))
+                .collect()
+        });
+        let mut si = 0usize;
+        for per_state in counts.into_iter().flatten() {
+            let (unstable, reached) = per_state;
+            let valid = cssg.edges(si).len();
+            cssg.note_unstable_n(unstable);
+            cssg.note_nonconfluent_n(reached.saturating_sub(unstable + valid));
+            if rel.depth_limited {
+                cssg.note_truncated_n(unstable);
+            }
+            si += 1;
+        }
+        debug_assert_eq!(si, n, "every reachable state classified");
+    }
+}
+
+/// The per-state classification body shared by the serial and sharded
+/// diagnostics passes: restrict the TCR to `state` and model-count the
+/// environment patterns it reaches, split into (unstable, all)
+/// endpoints.  One copy, so the sharded/serial counter identity cannot
+/// drift.  `tcr` and `not_stable_y` must be rooted by the caller; every
+/// intermediate held across an operation is rooted here, so the body is
+/// safe under any auto-GC threshold.
+fn classify_state(
+    m: &mut Manager,
+    nbits: usize,
+    tcr: Bdd,
+    not_stable_y: Bdd,
+    env_y: &[u32],
+    gate_y: &[u32],
+    state: &Bits,
+) -> (usize, usize) {
+    let mut t_x = tcr;
+    m.protect(t_x);
+    for bit in 0..nbits {
+        let r = m.restrict(t_x, 3 * bit as u32 + X, state.get(bit));
+        t_x = m.reroot(t_x, r);
+    }
+    let all_pats = m.exists(t_x, gate_y);
+    m.protect(all_pats);
+    let unstable_part = m.and(t_x, not_stable_y);
+    let unstable_pats = m.exists(unstable_part, gate_y);
+    let reached = m.models_packed(all_pats, env_y).len();
+    let unstable = m.models_packed(unstable_pats, env_y).len();
+    m.unprotect(all_pats);
+    m.unprotect(t_x);
+    (unstable, reached)
+}
+
+/// One shard of the diagnostics pass: [`classify_state`] over a chunk
+/// of the reachable states, on a private manager seeded by
+/// [`Manager::import`] from the built relation's (read-only) manager.
+fn classify_states(
+    src: &Manager,
+    nbits: usize,
+    m_inputs: usize,
+    gc: Option<usize>,
+    tcr: Bdd,
+    stable_y: Bdd,
+    states: &[Bits],
+) -> Vec<(usize, usize)> {
+    let mut m = Manager::new(3 * nbits as u32);
+    m.set_gc_threshold(gc);
+    let tcr = m.import(src, tcr);
+    m.protect(tcr);
+    let stable = m.import(src, stable_y);
+    m.protect(stable);
+    let not_stable_y = m.not(stable);
+    m.protect(not_stable_y);
+    m.unprotect(stable);
+    let env_y: Vec<u32> = (0..m_inputs as u32).map(|i| 3 * i + Y).collect();
+    let gate_y: Vec<u32> = (m_inputs..nbits).map(|i| 3 * i as u32 + Y).collect();
+    states
+        .iter()
+        .map(|state| classify_state(&mut m, nbits, tcr, not_stable_y, &env_y, &gate_y, state))
+        .collect()
 }
 
 #[cfg(test)]
@@ -577,6 +741,42 @@ mod tests {
         let (_, stats) = SymbolicCssg::build_inner(&ckt, None, Some(64)).unwrap();
         assert!(stats.runs > 0);
         assert!(stats.reclaimed > 0, "TCR iterates are reclaimed");
+    }
+
+    /// The sharded diagnostics pass must be invisible: same states,
+    /// edges and pruning counters as the serial diagnostic build, for
+    /// every shard count, with and without a GC policy.
+    #[test]
+    fn sharded_diagnostics_match_serial_on_library() {
+        for ckt in library::all() {
+            if ckt.num_state_bits() > 32 {
+                continue;
+            }
+            for gc in [None, Some(1024)] {
+                let serial = SymbolicCssg::build_diagnostic(&ckt, None, gc).unwrap();
+                for shards in 1..=4 {
+                    let sharded = SymbolicCssg::build_sharded(&ckt, None, gc, shards).unwrap();
+                    let ctx = format!("{} @ {shards} shards, gc {gc:?}", ckt.name());
+                    assert_eq!(serial.num_states(), sharded.num_states(), "{ctx}");
+                    assert_eq!(serial.num_edges(), sharded.num_edges(), "{ctx}");
+                    assert_eq!(serial.states(), sharded.states(), "{ctx}: state order");
+                    for si in 0..serial.num_states() {
+                        assert_eq!(serial.edges(si), sharded.edges(si), "{ctx}: state {si}");
+                    }
+                    assert_eq!(
+                        serial.pruned_nonconfluent(),
+                        sharded.pruned_nonconfluent(),
+                        "{ctx}"
+                    );
+                    assert_eq!(serial.pruned_unstable(), sharded.pruned_unstable(), "{ctx}");
+                    assert_eq!(
+                        serial.pruned_truncated(),
+                        sharded.pruned_truncated(),
+                        "{ctx}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Edge-case coverage for `core::json` on the paths reachable from the
+//! daemon: untrusted wire input (nesting bombs, surrogate escapes) and
+//! the byte-stability contract of [`AtpgReport::to_json`] that the
+//! service tests and CI smoke rely on to diff reports.
+
+use satpg_core::json::{Json, MAX_DEPTH};
+use satpg_core::{run_atpg, AtpgConfig, AtpgReport};
+
+// --- Nesting depth: exactly at the cap parses, one past it does not. ---
+
+fn nested_arrays(n: usize) -> String {
+    "[".repeat(n) + &"]".repeat(n)
+}
+
+#[test]
+fn depth_cap_boundary_is_exact() {
+    // `value(depth)` rejects `depth > MAX_DEPTH`; the innermost of `n`
+    // nested arrays sits at depth `n - 1`, so `MAX_DEPTH + 1` arrays are
+    // the deepest accepted document.
+    let deepest_ok = nested_arrays(MAX_DEPTH + 1);
+    assert!(Json::parse(&deepest_ok).is_ok(), "at the cap must parse");
+    let too_deep = nested_arrays(MAX_DEPTH + 2);
+    let err = Json::parse(&too_deep).unwrap_err();
+    assert!(err.msg.contains("deep"), "{err}");
+    // Mixed nesting (objects inside arrays) counts every level too.
+    let mixed_ok =
+        "[{\"k\":".repeat(MAX_DEPTH.div_ceil(2)) + "0" + &"}]".repeat(MAX_DEPTH.div_ceil(2));
+    assert!(Json::parse(&mixed_ok).is_ok());
+    let mixed_deep = "[{\"k\":".repeat(MAX_DEPTH / 2 + 1) + "0" + &"}]".repeat(MAX_DEPTH / 2 + 1);
+    assert!(Json::parse(&mixed_deep).is_err());
+}
+
+#[test]
+fn depth_cap_survives_round_trip_at_the_boundary() {
+    // A document at the cap renders and re-parses (the daemon echoes
+    // parsed values back onto the wire).
+    let v = Json::parse(&nested_arrays(MAX_DEPTH + 1)).unwrap();
+    let rendered = v.render();
+    assert_eq!(Json::parse(&rendered).unwrap(), v);
+}
+
+// --- Surrogate pairs. -------------------------------------------------
+
+#[test]
+fn surrogate_pairs_decode_and_round_trip() {
+    // Astral plane via explicit escapes: 😀 U+1F600 = D83D DE00.
+    let v = Json::parse(r#""😀""#).unwrap();
+    assert_eq!(v.as_str(), Some("😀"));
+    // The highest code point U+10FFFF = DBFF DFFF.
+    let v = Json::parse(r#""􏿿""#).unwrap();
+    assert_eq!(v.as_str(), Some("\u{10FFFF}"));
+    // Rendering emits the raw character; the round trip preserves it.
+    let original = Json::str("mix 😀 and \u{10FFFF} and ascii");
+    assert_eq!(Json::parse(&original.render()).unwrap(), original);
+    // Escaped and literal forms parse to the same value.
+    assert_eq!(Json::parse(r#""😀""#), Json::parse("\"😀\""));
+}
+
+#[test]
+fn broken_surrogates_are_rejected_not_mangled() {
+    for bad in [
+        r#""\ud83d""#,       // lone high surrogate at end of string
+        r#""\ud83dx""#,      // high surrogate followed by a plain char
+        r#""\ud83dA""#,      // high surrogate followed by a BMP escape
+        r#""\ude00""#,       // lone low surrogate
+        r#""\ud83d\ud83d""#, // high followed by high
+        r#""\ud83d\ude0""#,  // truncated low half
+    ] {
+        assert!(Json::parse(bad).is_err(), "{bad} must be rejected");
+    }
+}
+
+// --- Byte-stable numbers through AtpgReport::to_json. -----------------
+
+#[test]
+fn report_json_round_trips_byte_stably() {
+    let ckt = satpg_netlist::library::muller_pipeline2();
+    let report = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+    for include_timing in [false, true] {
+        let first = report.to_json_value(include_timing).render();
+        // parse → render is the identity on the rendered form: every
+        // number (integers and the coverage/efficiency floats) survives
+        // the round trip byte-for-byte.
+        let reparsed = Json::parse(&first).unwrap();
+        assert_eq!(reparsed.render(), first, "timing={include_timing}");
+        // And the rendering is a pure function of the report.
+        assert_eq!(report.to_json_value(include_timing).render(), first);
+    }
+}
+
+#[test]
+fn report_json_preserves_timings_beyond_f64_precision() {
+    let ckt = satpg_netlist::library::c_element();
+    let mut report: AtpgReport = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+    // 2^53 + 1 is not representable in f64; a float-typed pipeline
+    // would silently round it.  The daemon ships microsecond counters,
+    // so this must survive exactly.
+    let awkward: u128 = (1 << 53) + 1;
+    report.us_cssg = awkward;
+    report.us_random = u64::MAX as u128;
+    report.us_three_phase = 0;
+    let rendered = report.to_json_value(true).render();
+    let v = Json::parse(&rendered).unwrap();
+    let timing = v.get("timing_us").unwrap();
+    assert_eq!(timing.get("cssg").unwrap().as_u128(), Some(awkward));
+    assert_eq!(
+        timing.get("random").unwrap().as_u128(),
+        Some(u64::MAX as u128)
+    );
+    assert_eq!(
+        timing.get("total").unwrap().as_u128(),
+        Some(awkward + u64::MAX as u128)
+    );
+    assert_eq!(Json::parse(&rendered).unwrap().render(), rendered);
+}
+
+#[test]
+fn float_rendering_stays_reparseable_as_float() {
+    // coverage_pct of a fully covered circuit is exactly 100.0 — the
+    // renderer must keep the ".0" so a re-parse stays a Float and the
+    // re-render stays byte-identical (the daemon diffs on bytes).
+    let ckt = satpg_netlist::library::c_element();
+    let report = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+    let rendered = report.to_json_value(false).render();
+    assert!(
+        rendered.contains("\"coverage_pct\":100.0"),
+        "float keeps its marker: {rendered}"
+    );
+    let v = Json::parse(&rendered).unwrap();
+    assert!(matches!(v.get("coverage_pct"), Some(Json::Float(_))));
+    assert_eq!(v.render(), rendered);
+}

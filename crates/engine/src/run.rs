@@ -5,8 +5,8 @@ use crate::shard::{Popped, ShardedQueues};
 use satpg_core::json::Json;
 use satpg_core::stages::{random_stage, targeted_stage, FaultPlan, StageState};
 use satpg_core::{
-    build_cssg, input_stuck_faults, output_stuck_faults, three_phase, AtpgConfig, AtpgReport,
-    CoreError, Cssg, Fault, FaultModel, FaultStatus, TestSequence,
+    build_cssg_sharded, faults_for, three_phase, AtpgConfig, AtpgReport, CoreError, Cssg, Fault,
+    FaultStatus, TestSequence,
 };
 use satpg_netlist::Circuit;
 use std::sync::{OnceLock, RwLock};
@@ -29,6 +29,9 @@ pub enum EngineEvent {
         edges: usize,
         /// (state, pattern) pairs dropped at a resource limit.
         truncated: usize,
+        /// Construction threads used (1 for a serial build; also 1 on a
+        /// cache hit, where nothing was built).
+        shards: usize,
         /// Microseconds spent constructing (0 on a cache hit).
         us: u128,
     },
@@ -102,6 +105,12 @@ pub struct EngineConfig {
     /// manager sweeps unrooted nodes whenever more than `t` are live
     /// (the `--gc-threshold` CLI flag).  `None` keeps nodes immortal.
     pub gc_threshold: Option<usize>,
+    /// Threads for the CSSG construction phase
+    /// ([`satpg_core::build_cssg_sharded`]).  `0` matches the campaign's
+    /// worker count, so a parallel job also builds its abstraction in
+    /// parallel; any value yields a CSSG structurally identical to the
+    /// serial build (the `--cssg-shards` CLI flag).
+    pub cssg_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +121,7 @@ impl Default for EngineConfig {
             broadcast: true,
             symbolic_audit: true,
             gc_threshold: None,
+            cssg_shards: 0,
         }
     }
 }
@@ -126,14 +136,29 @@ impl EngineConfig {
     }
 
     fn effective_workers(&self, pending: usize) -> usize {
-        let requested = if self.workers == 0 {
+        self.requested_workers().clamp(1, pending.max(1))
+    }
+
+    /// The worker count before clamping to the pending-class count: the
+    /// configured value, or one per available CPU for `0`.
+    pub fn requested_workers(&self) -> usize {
+        if self.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
             self.workers
-        };
-        requested.clamp(1, pending.max(1))
+        }
+    }
+
+    /// Threads the CSSG build phase uses: `cssg_shards`, defaulting to
+    /// the campaign's worker count when 0.
+    pub fn build_shards(&self) -> usize {
+        if self.cssg_shards == 0 {
+            self.requested_workers()
+        } else {
+            self.cssg_shards
+        }
     }
 }
 
@@ -272,18 +297,16 @@ pub fn run_engine_streaming(
     cfg: &EngineConfig,
     sink: &dyn EngineSink,
 ) -> Result<EngineReport, CoreError> {
+    let shards = cfg.build_shards();
     let t0 = Instant::now();
-    let cssg = build_cssg(ckt, &cfg.atpg.cssg)?;
+    let cssg = build_cssg_sharded(ckt, &cfg.atpg.cssg, shards)?;
     let us_cssg = t0.elapsed().as_micros();
     if cssg.num_edges() == 0 {
         return Err(CoreError::NoValidVectors);
     }
-    let faults = match cfg.atpg.fault_model {
-        FaultModel::InputStuckAt => input_stuck_faults(ckt),
-        FaultModel::OutputStuckAt => output_stuck_faults(ckt),
-    };
-    Ok(run_engine_on_streaming(
-        ckt, &cssg, &faults, cfg, us_cssg, sink,
+    let faults = faults_for(ckt, cfg.atpg.fault_model);
+    Ok(run_engine_built(
+        ckt, &cssg, &faults, cfg, us_cssg, shards, sink,
     ))
 }
 
@@ -310,10 +333,26 @@ pub fn run_engine_on_streaming(
     us_cssg: u128,
     sink: &dyn EngineSink,
 ) -> EngineReport {
+    run_engine_built(ckt, cssg, faults, cfg, us_cssg, 1, sink)
+}
+
+/// The campaign body: `cssg_shards` records how many threads built the
+/// supplied abstraction (1 when prebuilt or cache-served) for the
+/// [`EngineEvent::CssgReady`] telemetry.
+fn run_engine_built(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    faults: &[Fault],
+    cfg: &EngineConfig,
+    us_cssg: u128,
+    cssg_shards: usize,
+    sink: &dyn EngineSink,
+) -> EngineReport {
     sink.event(EngineEvent::CssgReady {
         states: cssg.num_states(),
         edges: cssg.num_edges(),
         truncated: cssg.pruned_truncated(),
+        shards: cssg_shards,
         us: us_cssg,
     });
     let plan = FaultPlan::new(ckt, faults, cfg.atpg.collapse);
@@ -530,7 +569,7 @@ pub fn reports_identical(a: &AtpgReport, b: &AtpgReport) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use satpg_core::run_atpg;
+    use satpg_core::{run_atpg, FaultModel};
     use satpg_netlist::library;
 
     #[test]
@@ -655,9 +694,16 @@ mod tests {
             .collect();
         assert_eq!(stage_order, ["cssg", "random", "parallel", "merge"]);
         match events.first() {
-            Some(EngineEvent::CssgReady { states, edges, .. }) => {
+            Some(EngineEvent::CssgReady {
+                states,
+                edges,
+                shards,
+                ..
+            }) => {
                 assert_eq!(*states, out.report.cssg_states);
                 assert_eq!(*edges, out.report.cssg_edges);
+                // cssg_shards defaults to the worker count.
+                assert_eq!(*shards, 2, "build fan-out follows the workers");
             }
             other => panic!("expected CssgReady first, got {other:?}"),
         }
@@ -681,6 +727,27 @@ mod tests {
         // Streaming must not perturb the verdicts.
         let serial = run_atpg(&ckt, &cfg.atpg).unwrap();
         assert!(reports_identical(&out.report, &serial));
+    }
+
+    #[test]
+    fn cssg_shards_override_is_report_invisible() {
+        let ckt = library::muller_pipeline2();
+        let serial = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        for cssg_shards in [1, 3] {
+            let out = run_engine(
+                &ckt,
+                &EngineConfig {
+                    workers: 2,
+                    cssg_shards,
+                    ..EngineConfig::paper()
+                },
+            )
+            .unwrap();
+            assert!(
+                reports_identical(&out.report, &serial),
+                "{cssg_shards} build shards"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 use satpg_core::json::Json;
 use satpg_core::Cssg;
 use satpg_netlist::Circuit;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// 64-bit FNV-1a: tiny, deterministic, and good enough for cache keys
 /// (collisions only cost a wrong-but-valid cache identity, so the job
@@ -81,6 +83,15 @@ impl<K: Eq, V: Clone> Lru<K, V> {
         }
     }
 
+    /// [`Lru::get`] without touching the hit/miss counters or recency
+    /// (for re-checks that already counted their first probe).
+    fn peek(&self, key: &K) -> Option<V> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v.clone())
+    }
+
     fn put(&mut self, key: K, value: V) {
         self.tick += 1;
         if let Some(slot) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
@@ -100,6 +111,65 @@ impl<K: Eq, V: Clone> Lru<K, V> {
             self.stats.evictions += 1;
         }
         self.entries.push((key, value, self.tick));
+    }
+}
+
+/// Build coalescing for expensive cache fills: at most one in-flight
+/// build per key, with later requesters blocking until the first
+/// finishes instead of duplicating the work (the anti-stampede guard in
+/// front of the CSSG cache).
+///
+/// Protocol: call [`SingleFlight::begin`]; on `true` you own the build —
+/// store the result in the cache, then call [`SingleFlight::finish`]
+/// (also on failure, so waiters can retry).  On `false` someone else is
+/// building: call [`SingleFlight::wait`], then re-check the cache (a
+/// failed build or an eviction means you may become the builder on the
+/// retry).
+pub struct SingleFlight<K> {
+    inflight: Mutex<HashSet<K>>,
+    done: Condvar,
+}
+
+impl<K: Eq + Hash + Clone> SingleFlight<K> {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashSet::new()),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Claims the build of `key`.  `true` means the caller builds;
+    /// `false` means another thread already is.
+    pub fn begin(&self, key: K) -> bool {
+        self.inflight
+            .lock()
+            .expect("single-flight lock")
+            .insert(key)
+    }
+
+    /// Releases the claim on `key` and wakes every waiter.  Call exactly
+    /// once per successful [`SingleFlight::begin`], whether the build
+    /// succeeded or failed.
+    pub fn finish(&self, key: &K) {
+        let mut set = self.inflight.lock().expect("single-flight lock");
+        set.remove(key);
+        self.done.notify_all();
+    }
+
+    /// Blocks until no build of `key` is in flight (returns immediately
+    /// if none is).
+    pub fn wait(&self, key: &K) {
+        let mut set = self.inflight.lock().expect("single-flight lock");
+        while set.contains(key) {
+            set = self.done.wait(set).expect("single-flight lock");
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for SingleFlight<K> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -132,6 +202,12 @@ impl SessionCache {
     /// Looks up a CSSG by canonical-netlist hash and transition bound.
     pub fn get_cssg(&mut self, key: (u64, Option<usize>)) -> Option<Arc<Cssg>> {
         self.cssgs.get(&key)
+    }
+
+    /// [`SessionCache::get_cssg`] without counting: the single-flight
+    /// double-check already recorded its miss on the first probe.
+    pub fn peek_cssg(&self, key: (u64, Option<usize>)) -> Option<Arc<Cssg>> {
+        self.cssgs.peek(&key)
     }
 
     /// Stores a CSSG.
@@ -191,6 +267,54 @@ mod tests {
         assert_eq!(l.stats.evictions, 1);
         assert_eq!(l.stats.hits, 3);
         assert_eq!(l.stats.misses, 2);
+        // peek neither counts nor touches recency.
+        assert_eq!(l.peek(&1), Some(10));
+        assert_eq!(l.peek(&99), None);
+        assert_eq!(l.stats.hits, 3);
+        assert_eq!(l.stats.misses, 2);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_builds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        let flight: SingleFlight<u64> = SingleFlight::new();
+        let builds = AtomicUsize::new(0);
+        let store: Mutex<Option<u64>> = Mutex::new(None);
+        // The barrier sequences the race deterministically: the builder
+        // claims the key *before* the loser is released, so the loser's
+        // `begin` must observe the in-flight build and wait.
+        let claimed = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(flight.begin(7), "first claimant builds");
+                claimed.wait();
+                builds.fetch_add(1, Ordering::SeqCst);
+                *store.lock().unwrap() = Some(42);
+                flight.finish(&7);
+            });
+            s.spawn(|| {
+                claimed.wait();
+                if flight.begin(7) {
+                    // Only reachable if the builder already finished —
+                    // then the store is populated and we must not build.
+                    flight.finish(&7);
+                } else {
+                    flight.wait(&7);
+                }
+                assert_eq!(*store.lock().unwrap(), Some(42), "waiter sees the result");
+            });
+        });
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            1,
+            "one build for two requests"
+        );
+        // Independent keys never block each other.
+        assert!(flight.begin(8));
+        flight.wait(&7);
+        flight.finish(&8);
     }
 
     #[test]

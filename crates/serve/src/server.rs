@@ -21,14 +21,13 @@
 //! managers die with the job, and `gc_threshold` bounds them while it
 //! runs, so daemon-lifetime memory stays bounded.
 
-use crate::cache::{fnv64, SessionCache};
+use crate::cache::{fnv64, SessionCache, SingleFlight};
 use crate::job::resolve_circuit;
 use crate::net::{read_line_capped, write_line, Conn, Listener};
 use crate::proto::{event, JobSpec, Request, MAX_LINE_BYTES};
 use satpg_core::json::Json;
 use satpg_core::{
-    build_cssg, input_stuck_faults, output_stuck_faults, AtpgConfig, CssgConfig, FaultModel,
-    ThreePhaseConfig,
+    build_cssg_sharded, faults_for, AtpgConfig, CssgConfig, FaultModel, ThreePhaseConfig,
 };
 use satpg_engine::{run_engine_on_streaming, EngineConfig, EngineEvent, EngineSink};
 use satpg_netlist::to_ckt;
@@ -75,11 +74,24 @@ struct QueuedJob {
     tx: mpsc::Sender<Json>,
 }
 
+/// CSSG cache key: canonical-netlist hash plus the transition bound.
+/// Deliberately *not* keyed by shard count — sharded and serial builds
+/// are structurally identical, so either satisfies a request for the
+/// other.
+type CssgKey = (u64, Option<usize>);
+
 struct State {
     cfg: ServeConfig,
     queue: Mutex<VecDeque<QueuedJob>>,
     queue_cv: Condvar,
     cache: Mutex<SessionCache>,
+    /// Anti-stampede guard: concurrent misses on one CSSG key coalesce
+    /// into a single build; the losers block on the winner.
+    cssg_flight: SingleFlight<CssgKey>,
+    /// CSSG constructions actually run (cache misses that built).
+    cssg_builds: AtomicUsize,
+    /// Requests that blocked on another job's in-flight build.
+    cssg_waits: AtomicUsize,
     shutdown: AtomicBool,
     next_job: AtomicU64,
     jobs_queued: AtomicUsize,
@@ -118,6 +130,9 @@ impl Server {
             cfg,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
+            cssg_flight: SingleFlight::new(),
+            cssg_builds: AtomicUsize::new(0),
+            cssg_waits: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             next_job: AtomicU64::new(1),
             jobs_queued: AtomicUsize::new(0),
@@ -213,6 +228,7 @@ fn pool_loop(state: &Arc<State>) {
 struct ChannelSink {
     job: u64,
     cssg_cache: &'static str,
+    cssg_shards: usize,
     tx: Mutex<mpsc::Sender<Json>>,
 }
 
@@ -232,6 +248,7 @@ impl EngineSink for ChannelSink {
                 states,
                 edges,
                 truncated,
+                shards: _,
                 us,
             } => self.send(event::stage(
                 j,
@@ -241,6 +258,10 @@ impl EngineSink for ChannelSink {
                     ("states".to_string(), Json::int(states)),
                     ("edges".to_string(), Json::int(edges)),
                     ("truncated".to_string(), Json::int(truncated)),
+                    // The daemon builds (or cache-serves) the CSSG
+                    // itself, so the engine-side count is always 1;
+                    // report the daemon's actual build fan-out instead.
+                    ("shards".to_string(), Json::int(self.cssg_shards)),
                     ("us".to_string(), Json::int(us)),
                 ],
             )),
@@ -316,39 +337,14 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
         ],
     ));
 
-    // --- CSSG: keyed by canonical netlist text + transition bound. ---
-    let cssg_cfg = CssgConfig {
-        k: job.spec.k,
-        ..CssgConfig::default()
-    };
-    let skey = (fnv64(to_ckt(&ckt).as_bytes()), job.spec.k);
-    let cached = state.cache.lock().expect("cache lock").get_cssg(skey);
-    let (cssg, cssg_cache, us_cssg) = match cached {
-        Some(g) => (g, "hit", 0u128),
-        None => {
-            let t0 = Instant::now();
-            match build_cssg(&ckt, &cssg_cfg) {
-                Ok(g) => {
-                    let g = Arc::new(g);
-                    state
-                        .cache
-                        .lock()
-                        .expect("cache lock")
-                        .put_cssg(skey, g.clone());
-                    (g, "miss", t0.elapsed().as_micros())
-                }
-                Err(e) => return fail(&e.to_string()),
-            }
-        }
-    };
-    if cssg.num_edges() == 0 {
-        return fail(&satpg_core::CoreError::NoValidVectors.to_string());
-    }
-
-    // --- Engine campaign, telemetry streamed through the sink. ---
+    // --- Engine configuration (also decides the CSSG build fan-out:
+    // the abstraction builds with the job's worker count). ---
     let cfg = EngineConfig {
         atpg: AtpgConfig {
-            cssg: cssg_cfg,
+            cssg: CssgConfig {
+                k: job.spec.k,
+                ..CssgConfig::default()
+            },
             random: if job.spec.no_random {
                 None
             } else {
@@ -371,14 +367,66 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
         broadcast: true,
         symbolic_audit: true,
         gc_threshold: job.spec.gc_threshold.or(state.cfg.gc_threshold),
+        cssg_shards: 0,
     };
-    let faults = match cfg.atpg.fault_model {
-        FaultModel::InputStuckAt => input_stuck_faults(&ckt),
-        FaultModel::OutputStuckAt => output_stuck_faults(&ckt),
+
+    // --- CSSG: keyed by canonical netlist text + transition bound, the
+    // same key for sharded and serial builds (identical structure).
+    // Concurrent misses on one key single-flight through `cssg_flight`:
+    // the first requester builds, later ones block and then hit.
+    let skey: CssgKey = (fnv64(to_ckt(&ckt).as_bytes()), job.spec.k);
+    let shards = cfg.build_shards();
+    let (cssg, cssg_cache, us_cssg) = loop {
+        if let Some(g) = state.cache.lock().expect("cache lock").get_cssg(skey) {
+            break (g, "hit", 0u128);
+        }
+        if state.cssg_flight.begin(skey) {
+            // Double-check under the claim: the previous builder may
+            // have filled the cache between our miss and the claim.
+            // Peek, not get — the miss was already counted above.
+            if let Some(g) = state.cache.lock().expect("cache lock").peek_cssg(skey) {
+                state.cssg_flight.finish(&skey);
+                break (g, "hit", 0u128);
+            }
+            let t0 = Instant::now();
+            let built = build_cssg_sharded(&ckt, &cfg.atpg.cssg, shards);
+            let outcome = match built {
+                Ok(g) => {
+                    let g = Arc::new(g);
+                    state
+                        .cache
+                        .lock()
+                        .expect("cache lock")
+                        .put_cssg(skey, g.clone());
+                    state.cssg_builds.fetch_add(1, Ordering::SeqCst);
+                    Ok((g, "miss", t0.elapsed().as_micros()))
+                }
+                Err(e) => Err(e.to_string()),
+            };
+            // Release the claim on success *and* failure, or waiters
+            // would hang on a key that will never be filled.
+            state.cssg_flight.finish(&skey);
+            match outcome {
+                Ok(hit) => break hit,
+                Err(msg) => return fail(&msg),
+            }
+        } else {
+            state.cssg_waits.fetch_add(1, Ordering::SeqCst);
+            state.cssg_flight.wait(&skey);
+            // Loop: normally a cache hit now; on a failed or evicted
+            // build this requester becomes the next builder.
+        }
     };
+    if cssg.num_edges() == 0 {
+        return fail(&satpg_core::CoreError::NoValidVectors.to_string());
+    }
+
+    // --- Engine campaign, telemetry streamed through the sink. ---
+    let faults = faults_for(&ckt, cfg.atpg.fault_model);
     let sink = ChannelSink {
         job: job.id,
         cssg_cache,
+        cssg_shards: if cssg_cache == "hit" { 1 } else { shards },
         tx: Mutex::new(job.tx.clone()),
     };
     let out = run_engine_on_streaming(&ckt, &cssg, &faults, &cfg, us_cssg, &sink);
@@ -434,6 +482,14 @@ fn status_json(state: &State) -> Json {
             ]),
         ),
         ("cache".to_string(), cache),
+        (
+            "cssg_builds".to_string(),
+            Json::int(state.cssg_builds.load(Ordering::SeqCst)),
+        ),
+        (
+            "cssg_singleflight_waits".to_string(),
+            Json::int(state.cssg_waits.load(Ordering::SeqCst)),
+        ),
         (
             "peak_bdd_nodes".to_string(),
             Json::int(state.peak_bdd_nodes.load(Ordering::SeqCst)),

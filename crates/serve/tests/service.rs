@@ -174,6 +174,65 @@ fn duplicate_submission_hits_the_cssg_cache() {
     handle.join().unwrap().unwrap();
 }
 
+/// The anti-stampede satellite: two clients racing the same cold CSSG
+/// key must trigger exactly **one** construction.  Whether the second
+/// requester lands while the first is mid-build (it then blocks on the
+/// single-flight guard and takes a cache hit afterwards) or after it
+/// finished (a plain hit), `cssg_builds` stays 1 — so the assertion is
+/// deterministic even though the interleaving is not.
+#[test]
+fn concurrent_misses_single_flight_the_cssg_build() {
+    let (addr, handle) = start(ServeConfig {
+        pool_workers: 2,
+        ..ServeConfig::default()
+    });
+    // muller-12 is new to the cache and its CSSG build is slow enough
+    // that two pool workers usually overlap on it.
+    let spec = || JobSpec {
+        workers: 1,
+        ..JobSpec::new(CircuitSpec::Family {
+            name: "muller".to_string(),
+            size: 12,
+        })
+    };
+    let reports: Vec<String> = thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let out = client.submit(spec()).expect("submit");
+                    daemon_report_json(&out.report)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(reports[0], reports[1], "both clients get the same report");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let status = client.status().expect("status");
+    let top = |k: &str| status.get(k).and_then(Json::as_usize).unwrap();
+    assert_eq!(top("cssg_builds"), 1, "the stampede built once: {status}");
+    let jobs = status.get("jobs").unwrap();
+    assert_eq!(jobs.get("done").and_then(Json::as_usize), Some(2));
+    let cssg_cache = status
+        .get("cache")
+        .and_then(|c| c.get("cssgs"))
+        .expect("cssg cache stats");
+    let hits = cssg_cache.get("hits").and_then(Json::as_usize).unwrap();
+    let misses = cssg_cache.get("misses").and_then(Json::as_usize).unwrap();
+    // One requester built (≥1 miss); the other either waited out the
+    // build or arrived late — both paths end in a hit.
+    assert!(misses >= 1, "{status}");
+    assert!(hits >= 1, "{status}");
+    // Waits only happen on true overlap; the counter must exist and
+    // never exceed the loser count.
+    assert!(top("cssg_singleflight_waits") <= 1, "{status}");
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
 #[test]
 fn zero_depth_queue_rejects_with_backpressure() {
     let (addr, handle) = start(ServeConfig {

@@ -22,7 +22,10 @@
 use satpg::core::json::Json;
 use satpg::core::report::{format_table, TableRow};
 use satpg::core::tester::TestProgram;
-use satpg::core::{build_cssg, run_atpg, AtpgConfig, CssgConfig, FaultModel, ThreePhaseConfig};
+use satpg::core::{
+    build_cssg_sharded, run_atpg, run_atpg_on, AtpgConfig, CoreError, CssgConfig, FaultModel,
+    ThreePhaseConfig,
+};
 use satpg::engine::{run_engine, EngineConfig};
 use satpg::netlist::{parse_ckt, to_ckt, Circuit};
 use satpg::serve::{CircuitSpec, Client, JobSpec, ServeConfig, Server};
@@ -39,16 +42,17 @@ fn usage() -> ExitCode {
          commands:\n  \
            list\n  \
            synth <bench> [--style si|2l|2lr]\n  \
-           cssg  <bench> [--style si|2l|2lr] [--k N]\n  \
+           cssg  <bench> [--style si|2l|2lr] [--k N] [--cssg-shards N]\n  \
            atpg  <bench> [--style si|2l|2lr] [--output-model] [--collapse] [--no-random]\n          \
-                  [--program] [--json]\n  \
+                  [--program] [--json] [--cssg-shards N]\n  \
            scan  <bench> [--style si|2l|2lr]\n  \
            table <1|2>\n  \
            dot   <bench> [--style si|2l|2lr]\n  \
            gen   <muller|dme|arbiter|seq> [--size K]\n  \
            engine <bench|-> [--style si|2l|2lr] [--k N] [--workers N] [--output-model]\n          \
                   [--collapse] [--no-random] [--no-broadcast] [--no-audit] [--json]\n          \
-                  [--gc-threshold N]  # sweep worker BDDs above N live nodes\n  \
+                  [--gc-threshold N]  # sweep worker BDDs above N live nodes\n          \
+                  [--cssg-shards N]   # parallel CSSG build (0 = worker count)\n  \
            serve  [--addr HOST:PORT|unix:PATH] [--serve-workers N] [--queue-depth N]\n          \
                   [--cache-size N] [--workers N] [--gc-threshold N]\n  \
            submit <bench|-> [--addr A] [--style si|2l|2lr] [--family F --size K]\n          \
@@ -73,6 +77,7 @@ struct Opts {
     no_broadcast: bool,
     no_audit: bool,
     gc_threshold: Option<usize>,
+    cssg_shards: usize,
     json: bool,
     addr: String,
     family: Option<String>,
@@ -95,6 +100,7 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         no_broadcast: false,
         no_audit: false,
         gc_threshold: None,
+        cssg_shards: 0,
         json: false,
         addr: DEFAULT_ADDR.into(),
         family: None,
@@ -116,6 +122,7 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--no-broadcast" => o.no_broadcast = true,
             "--no-audit" => o.no_audit = true,
             "--gc-threshold" => o.gc_threshold = Some(it.next()?.parse().ok()?),
+            "--cssg-shards" => o.cssg_shards = it.next()?.parse().ok()?,
             "--json" => o.json = true,
             "--addr" => o.addr = it.next()?.clone(),
             "--family" => o.family = Some(it.next()?.clone()),
@@ -290,6 +297,7 @@ fn main() -> ExitCode {
                 broadcast: !o.no_broadcast,
                 symbolic_audit: !o.no_audit,
                 gc_threshold: o.gc_threshold,
+                cssg_shards: o.cssg_shards,
             };
             match run_engine(&ckt, &cfg) {
                 Ok(out) => {
@@ -381,7 +389,7 @@ fn main() -> ExitCode {
                         k: o.k,
                         ..CssgConfig::default()
                     };
-                    match build_cssg(&ckt, &cfg) {
+                    match build_cssg_sharded(&ckt, &cfg, o.cssg_shards.max(1)) {
                         Ok(c) => {
                             println!(
                                 "CSSG(k={}): {} stable states, {} edges; pruned {} non-confluent, {} unstable; {} truncated at resource limits",
@@ -419,7 +427,24 @@ fn main() -> ExitCode {
                         fault_sim: true,
                         three_phase: ThreePhaseConfig::scaled(&ckt),
                     };
-                    match run_atpg(&ckt, &cfg) {
+                    // The abstraction is built up front (optionally
+                    // sharded — structurally identical either way) and
+                    // reused for the tester program below.
+                    let t0 = std::time::Instant::now();
+                    let cssg = match build_cssg_sharded(&ckt, &cfg.cssg, o.cssg_shards.max(1)) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let us_cssg = t0.elapsed().as_micros();
+                    if cssg.num_edges() == 0 {
+                        eprintln!("error: {}", CoreError::NoValidVectors);
+                        return ExitCode::FAILURE;
+                    }
+                    let faults = satpg::core::faults_for(&ckt, cfg.fault_model);
+                    match run_atpg_on(&ckt, &cssg, &faults, &cfg, us_cssg) {
                         Ok(r) => {
                             if o.json {
                                 println!("{}", r.to_json());
@@ -438,7 +463,6 @@ fn main() -> ExitCode {
                                 r.us_total()
                             );
                             if o.program {
-                                let cssg = build_cssg(&ckt, &cfg.cssg).expect("built above");
                                 let mut prog = TestProgram::new(&ckt);
                                 for (i, t) in r.tests.iter().enumerate() {
                                     prog.push_sequence(&ckt, &cssg, format!("test {i}"), t);
@@ -454,7 +478,7 @@ fn main() -> ExitCode {
                 }
                 "scan" => {
                     let cfg = CssgConfig::default();
-                    let cssg = build_cssg(&ckt, &cfg).expect("stable reset");
+                    let cssg = build_cssg_sharded(&ckt, &cfg, 1).expect("stable reset");
                     let report = run_atpg(&ckt, &AtpgConfig::paper()).expect("ATPG runs");
                     let analysis =
                         satpg::core::scan_candidates(&ckt, &cssg, &report, &Default::default());
@@ -666,11 +690,12 @@ fn print_event(ev: &Json) {
                     get("inputs")
                 ),
                 "cssg" => println!(
-                    "  cssg ({}): {} states, {} edges, {} truncated, {} us",
+                    "  cssg ({}): {} states, {} edges, {} truncated, {} shards, {} us",
                     ev.get("cache").and_then(Json::as_str).unwrap_or("?"),
                     get("states"),
                     get("edges"),
                     get("truncated"),
+                    get("shards"),
                     get("us")
                 ),
                 "random" => println!("  random: {} resolved, {} us", get("resolved"), get("us")),
