@@ -10,7 +10,7 @@
 //! Random TPG is disabled so every fault class reaches the parallel
 //! targeted phase — the component whose scaling is under test.
 
-use satpg_core::{build_cssg_sharded, AtpgConfig, CssgConfig};
+use satpg_core::{build_cssg, build_cssg_sharded, AtpgConfig, CapPolicy, CssgConfig};
 use satpg_engine::{run_engine, EngineConfig};
 use satpg_netlist::{families as nf, Circuit};
 use satpg_stg::synth::complex_gate;
@@ -36,6 +36,8 @@ fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, Stri
         symbolic_audit: false,
         gc_threshold: None,
         cssg_shards: 1,
+        settle_por: true,
+        settle_cap: None,
     };
     // Warm-up, then best-of-`reps` wall clock.
     let mut best = u128::MAX;
@@ -77,6 +79,8 @@ fn measure_memory(label: &str, ckt: &Circuit, gc_threshold: Option<usize>) -> St
         symbolic_audit: true,
         gc_threshold,
         cssg_shards: 1,
+        settle_por: true,
+        settle_cap: None,
     };
     let out = run_engine(ckt, &cfg).expect("engine runs");
     let peak = out
@@ -124,6 +128,52 @@ fn measure_cssg_shards(label: &str, ckt: &Circuit, shards: usize, reps: u32) -> 
     (best, json)
 }
 
+/// Settling-engine probe: CSSG construction across the muller coverage
+/// boundary, POR against the legacy naive walk, reporting the
+/// explored-vs-saved ledger.  The `legacy` policy is the pre-PR-5
+/// configuration (naive walk, fixed 2^15 cap) whose truncation the
+/// coverage sweep measured; `por` is the current default.
+fn measure_settler(size: usize, por: bool, reps: u32) -> (u128, String) {
+    let ckt = nf::muller_pipeline(size);
+    let cfg = if por {
+        CssgConfig::default()
+    } else {
+        CssgConfig {
+            por: false,
+            settle_cap: CapPolicy::Fixed(1 << 15),
+            ..CssgConfig::default()
+        }
+    };
+    let mut best = u128::MAX;
+    let mut last = None;
+    for _ in 0..=reps {
+        let t = Instant::now();
+        let cssg = build_cssg(&ckt, &cfg).expect("CSSG builds");
+        let us = t.elapsed().as_micros();
+        if last.is_some() {
+            best = best.min(us);
+        }
+        last = Some(cssg);
+    }
+    let cssg = last.expect("built at least once");
+    let ss = *cssg.settle_stats();
+    let naive_equiv = ss.states_explored + ss.por_pruned;
+    let json = format!(
+        "{{\"bench\":\"settler_scaling\",\"workload\":\"muller_pipe{size}\",\
+         \"policy\":\"{}\",\"best_us\":{best},\"states\":{},\"edges\":{},\
+         \"pruned_truncated\":{},\"settle_states\":{},\"por_pruned\":{},\
+         \"por_savings_ratio\":{:.3}}}",
+        if por { "por" } else { "legacy" },
+        cssg.num_states(),
+        cssg.num_edges(),
+        cssg.pruned_truncated(),
+        ss.states_explored,
+        ss.por_pruned,
+        ss.por_pruned as f64 / naive_equiv.max(1) as f64,
+    );
+    (best, json)
+}
+
 fn main() {
     let workloads: Vec<(&str, Circuit)> = vec![
         ("dme_ring5", dme_circuit(5)),
@@ -132,6 +182,31 @@ fn main() {
     ];
     let mut trajectory = String::from("[\n");
     let mut first = true;
+
+    // Settling-engine scaling across the old muller truncation boundary:
+    // POR at every size, the legacy naive/2^15 policy only where it is
+    // affordable (its cost explodes past 18 — which is the point).
+    for (size, por) in [
+        (16usize, true),
+        (18, true),
+        (19, true),
+        (20, true),
+        (22, true),
+        (16, false),
+        (19, false),
+    ] {
+        let (best, json) = measure_settler(size, por, 1);
+        println!(
+            "bench settler_scaling/muller_pipe{size}/{} {best:>10} us",
+            if por { "por   " } else { "legacy" }
+        );
+        println!("{json}");
+        if !first {
+            trajectory.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(trajectory, "  {json}");
+    }
 
     // CSSG construction scaling on the build-bound workload.
     let shard_ckt = nf::muller_pipeline(16);

@@ -27,7 +27,7 @@ fn main() {
             Settle::Confluent(_) => "confluent".to_string(),
             Settle::NonConfluent(v) => format!("NONCONFLUENT ({})", v.len()),
             Settle::Unstable(v) => format!("UNSTABLE ({})", v.len()),
-            Settle::Overflow => "OVERFLOW".to_string(),
+            Settle::Truncated => "OVERFLOW".to_string(),
         };
         println!("  reset + pattern {pattern:02b}: {label}");
     }

@@ -108,6 +108,12 @@ pub struct AtpgReport {
     /// a semantic verdict ([`Cssg::pruned_truncated`]): when non-zero,
     /// "untestable" verdicts may be truncation artifacts.
     pub cssg_truncated: usize,
+    /// State expansions the CSSG's settling analyses performed
+    /// ([`Cssg::settle_stats`]).
+    pub cssg_settle_states: u64,
+    /// Successor branches the partial-order reduction pruned during CSSG
+    /// construction — the "states saved" side of the POR ledger.
+    pub cssg_por_pruned: u64,
     /// Per-fault verdicts, in enumeration order.
     pub records: Vec<FaultRecord>,
     /// The deduplicated test set.

@@ -1,6 +1,7 @@
 //! The Confluent Stable State Graph: the synchronous FSM abstraction.
 
 use satpg_netlist::{Bits, Circuit};
+use satpg_sim::SettleStats;
 use std::collections::HashMap;
 
 /// A sequence of input patterns applied from the reset state, one per
@@ -50,6 +51,11 @@ pub struct Cssg {
     /// A non-zero count means "untestable" verdicts downstream may be
     /// truncation artifacts, not real redundancy.
     pruned_truncated: usize,
+    /// Aggregated settling-engine counters of the construction: state
+    /// expansions performed, and how much the partial-order reduction
+    /// saved.  Diagnostics only — excluded from bit-identity comparisons
+    /// between differently-configured builds.
+    settle_stats: SettleStats,
 }
 
 impl Cssg {
@@ -63,6 +69,7 @@ impl Cssg {
             pruned_nonconfluent: 0,
             pruned_unstable: 0,
             pruned_truncated: 0,
+            settle_stats: SettleStats::default(),
         }
     }
 
@@ -112,6 +119,10 @@ impl Cssg {
 
     pub(crate) fn note_truncated_n(&mut self, n: usize) {
         self.pruned_truncated += n;
+    }
+
+    pub(crate) fn note_settle_stats(&mut self, stats: &SettleStats) {
+        self.settle_stats.absorb(stats);
     }
 
     /// The transition bound `k` used during construction.
@@ -179,6 +190,21 @@ impl Cssg {
     /// collapse: truncation vs real redundancy" question.
     pub fn pruned_truncated(&self) -> usize {
         self.pruned_truncated
+    }
+
+    /// Settling-engine counters of the construction: how many state
+    /// expansions the interleaving analyses performed, how many
+    /// expansions the partial-order reduction collapsed
+    /// (`settle_stats().por_states`) and how many successor branches it
+    /// pruned (`settle_stats().por_pruned`).
+    ///
+    /// Deterministic for a given configuration (and identical between
+    /// the serial and sharded builders), but *not* part of the graph's
+    /// bit identity across configurations: a POR build and a naive build
+    /// of the same circuit have identical states/edges/pruning counters
+    /// yet different work counters — that difference is the point.
+    pub fn settle_stats(&self) -> &SettleStats {
+        &self.settle_stats
     }
 
     /// Replays a test sequence on the good machine, returning the state

@@ -12,7 +12,7 @@ use crate::cssg::Cssg;
 use crate::error::CoreError;
 use crate::Result;
 use satpg_netlist::{Bits, Circuit};
-use satpg_sim::{settle_explicit, ExplicitConfig, Injection, Settle};
+use satpg_sim::{CapPolicy, Injection, Settle, SettleStats, Settler, SettlerConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
@@ -24,8 +24,20 @@ pub struct CssgConfig {
     pub k: Option<usize>,
     /// Cap on the number of CSSG stable states.
     pub max_states: usize,
-    /// Cap on the interleaving set tracked per settling analysis.
-    pub max_settle_states: usize,
+    /// Cap policy for the interleaving set tracked per settling analysis
+    /// (the old fixed `max_settle_states = 2^15` is
+    /// `CapPolicy::Fixed(1 << 15)`; the default scales with circuit
+    /// size).
+    pub settle_cap: CapPolicy,
+    /// Partial-order reduction over commuting gate switchings inside
+    /// every settling analysis.  Sound — the built graph is bit-identical
+    /// to the naive walk wherever the naive walk completes — and it is
+    /// what keeps the deep generated families (muller ≥ 19) from
+    /// truncating.
+    pub por: bool,
+    /// Intra-settle parallel expansion threads (`0`/`1` = serial).  The
+    /// graph is identical for any value; only wall clock changes.
+    pub settle_threads: usize,
     /// Accept ternary-definite settles without the exhaustive analysis.
     pub ternary_fast_path: bool,
 }
@@ -35,18 +47,23 @@ impl Default for CssgConfig {
         CssgConfig {
             k: None,
             max_states: 1 << 14,
-            max_settle_states: 1 << 15,
+            settle_cap: CapPolicy::default_scaled(),
+            por: true,
+            settle_threads: 1,
             ternary_fast_path: true,
         }
     }
 }
 
 impl CssgConfig {
-    fn explicit(&self, ckt: &Circuit) -> ExplicitConfig {
-        ExplicitConfig {
+    /// The settling-engine configuration this CSSG config induces.
+    pub fn settler(&self, ckt: &Circuit) -> SettlerConfig {
+        SettlerConfig {
             k: self.k.unwrap_or(4 * ckt.num_gates() + 4),
-            max_states: self.max_settle_states,
+            cap: self.settle_cap,
+            por: self.por,
             ternary_fast_path: self.ternary_fast_path,
+            threads: self.settle_threads,
         }
     }
 }
@@ -81,11 +98,11 @@ fn validate(ckt: &Circuit) -> Result<()> {
 /// [`CoreError::CssgOverflow`] when the state budget is exceeded.
 pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
     validate(ckt)?;
-    let ecfg = cfg.explicit(ckt);
-    let mut cssg = Cssg::new(ckt.num_inputs(), ecfg.k);
+    let scfg = cfg.settler(ckt);
+    let mut settler = Settler::new(ckt, &Injection::none(), &scfg);
+    let mut cssg = Cssg::new(ckt.num_inputs(), scfg.k);
     let root = cssg.intern(ckt.initial_state().clone());
     let mut work = vec![root];
-    let inj = Injection::none();
     let npatterns = 1u64 << ckt.num_inputs();
     while let Some(si) = work.pop() {
         let state = cssg.states()[si].clone();
@@ -94,7 +111,7 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
             if pattern == current {
                 continue;
             }
-            match settle_explicit(ckt, &state, pattern, &inj, &ecfg) {
+            match settler.settle(&state, pattern) {
                 Settle::Confluent(next) => {
                     let known = cssg.state_index(&next).is_some();
                     let ni = cssg.intern(next);
@@ -110,10 +127,11 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
                 Settle::Unstable(_) => cssg.note_unstable(),
                 // The interleaving set blew its cap: the pair is dropped
                 // without a verdict — a truncation, not a proof.
-                Settle::Overflow => cssg.note_truncated(),
+                Settle::Truncated => cssg.note_truncated(),
             }
         }
     }
+    cssg.note_settle_stats(settler.stats());
     cssg.sort_edges();
     Ok(cssg)
 }
@@ -191,6 +209,11 @@ struct ShardResult {
     nonconfluent: usize,
     unstable: usize,
     truncated: usize,
+    /// The worker's private settling-engine counters.  Each (state,
+    /// pattern) pair is analysed by exactly one worker and each analysis
+    /// is deterministic, so the sum over workers equals the serial
+    /// builder's counters for every shard count.
+    settle: SettleStats,
 }
 
 /// [`build_cssg`] with the frontier split across `shards` worker
@@ -214,7 +237,7 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
         return build_cssg(ckt, cfg);
     }
     validate(ckt)?;
-    let ecfg = cfg.explicit(ckt);
+    let scfg = cfg.settler(ckt);
     let mut explore = Explore {
         index: HashMap::new(),
         states: Vec::new(),
@@ -228,7 +251,7 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
 
     let results: Vec<ShardResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
-            .map(|_| scope.spawn(|| shard_loop(ckt, &ecfg, cfg, &shared, &work_cv)))
+            .map(|_| scope.spawn(|| shard_loop(ckt, &scfg, cfg, &shared, &work_cv)))
             .collect();
         handles
             .into_iter()
@@ -240,19 +263,22 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
     if explore.overflow {
         return Err(CoreError::CssgOverflow(cfg.max_states));
     }
-    merge_shards(ckt, &ecfg, explore, &results)
+    merge_shards(ckt, &scfg, explore, &results)
 }
 
 /// One shard's loop: pop a `(state, pattern)` pair, run its k-bounded
 /// settling analysis privately, publish the verdict under the lock.
 fn shard_loop(
     ckt: &Circuit,
-    ecfg: &ExplicitConfig,
+    scfg: &SettlerConfig,
     cfg: &CssgConfig,
     shared: &Mutex<Explore>,
     work_cv: &Condvar,
 ) -> ShardResult {
-    let inj = Injection::none();
+    // Each shard runs its own settling engine: the interleaving-set
+    // tracking (and the POR bookkeeping) is thread-private, so the
+    // expensive analyses never contend on the exploration lock.
+    let mut settler = Settler::new(ckt, &Injection::none(), scfg);
     let npatterns = 1u64 << ckt.num_inputs();
     let mut local = ShardResult::default();
     // A worker usually deals consecutive patterns of the same state (a
@@ -266,6 +292,7 @@ fn shard_loop(
             let mut ex = shared.lock().expect("exploration lock");
             loop {
                 if ex.overflow {
+                    local.settle = settler.take_stats();
                     return local;
                 }
                 if let Some((si, pattern)) = ex.next_pair(npatterns) {
@@ -277,6 +304,7 @@ fn shard_loop(
                 }
                 if ex.active == 0 {
                     work_cv.notify_all();
+                    local.settle = settler.take_stats();
                     return local;
                 }
                 ex = work_cv.wait(ex).expect("exploration lock");
@@ -286,7 +314,7 @@ fn shard_loop(
 
         // The expensive part — the settling analysis, with this thread's
         // private interleaving-set tracking — runs unlocked.
-        let verdict = settle_explicit(ckt, state, pattern, &inj, ecfg);
+        let verdict = settler.settle(state, pattern);
 
         let mut ex = shared.lock().expect("exploration lock");
         match verdict {
@@ -299,6 +327,7 @@ fn shard_loop(
                 }
                 None => {
                     work_cv.notify_all();
+                    local.settle = settler.take_stats();
                     return local;
                 }
             },
@@ -306,7 +335,7 @@ fn shard_loop(
             Settle::Unstable(_) => local.unstable += 1,
             // The interleaving set blew its cap: the pair is dropped
             // without a verdict — a truncation, not a proof.
-            Settle::Overflow => local.truncated += 1,
+            Settle::Truncated => local.truncated += 1,
         }
         ex.active -= 1;
         if ex.active == 0 {
@@ -323,7 +352,7 @@ fn shard_loop(
 /// traversal to renumber, and assemble the final [`Cssg`].
 fn merge_shards(
     ckt: &Circuit,
-    ecfg: &ExplicitConfig,
+    scfg: &SettlerConfig,
     explore: Explore,
     results: &[ShardResult],
 ) -> Result<Cssg> {
@@ -360,7 +389,7 @@ fn merge_shards(
     }
     debug_assert_eq!(order.len(), n, "every explored state is reachable");
 
-    let mut cssg = Cssg::new(ckt.num_inputs(), ecfg.k);
+    let mut cssg = Cssg::new(ckt.num_inputs(), scfg.k);
     for &old in &order {
         cssg.intern(explore.states[old as usize].clone());
     }
@@ -374,6 +403,7 @@ fn merge_shards(
         cssg.note_nonconfluent_n(r.nonconfluent);
         cssg.note_unstable_n(r.unstable);
         cssg.note_truncated_n(r.truncated);
+        cssg.note_settle_stats(&r.settle);
     }
     cssg.sort_edges();
     Ok(cssg)
@@ -493,6 +523,9 @@ mod tests {
             b.pruned_truncated(),
             "{ctx}: truncated"
         );
+        // Work counters too: every pair is analysed exactly once by a
+        // deterministic engine, so even the POR ledger matches.
+        assert_eq!(a.settle_stats(), b.settle_stats(), "{ctx}: settle stats");
     }
 
     #[test]

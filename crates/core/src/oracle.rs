@@ -10,7 +10,7 @@
 use crate::cssg::TestSequence;
 use crate::fault::Fault;
 use satpg_netlist::{Bits, Circuit};
-use satpg_sim::{settle_set, ExplicitConfig, Injection};
+use satpg_sim::{CapPolicy, Injection, Settler, SettlerConfig};
 use std::collections::BTreeSet;
 
 /// Verdict of [`validate_test`].
@@ -34,21 +34,25 @@ pub enum Verdict {
 /// transition bound `k` per cycle (sampling happens at the end of each
 /// cycle; oscillating machines are sampled at any attractor phase).
 pub fn validate_test(ckt: &Circuit, fault: &Fault, seq: &TestSequence, k: usize) -> Verdict {
-    let ecfg = ExplicitConfig {
+    let scfg = SettlerConfig {
         k,
-        max_states: 1 << 14,
-        // The oracle must not lean on the machinery it validates.
+        cap: CapPolicy::Fixed(1 << 14),
+        // The oracle must not lean on the machinery it validates: no
+        // ternary shortcut, and no partial-order reduction — this is the
+        // raw naive walk the reduced engines are checked against.
+        por: false,
         ternary_fast_path: false,
+        threads: 1,
     };
-    let inj = fault.injection();
-    let none = Injection::none();
+    let mut faulty = Settler::new(ckt, &fault.injection(), &scfg);
+    let mut clean = Settler::new(ckt, &Injection::none(), &scfg);
     let s0 = ckt.initial_state().clone();
     let p0 = ckt.input_pattern(&s0);
 
     // Good machine: deterministic replay (must be confluent every cycle).
     let mut good = s0.clone();
     // Faulty machine: settle the reset state under the fault first.
-    let mut fset = match settle_set(ckt, &BTreeSet::from([s0]), p0, &inj, &ecfg) {
+    let mut fset = match faulty.settle_set(&BTreeSet::from([s0]), p0).ok() {
         Some(s) => s,
         None => return Verdict::Overflow,
     };
@@ -60,7 +64,7 @@ pub fn validate_test(ckt: &Circuit, fault: &Fault, seq: &TestSequence, k: usize)
         return Verdict::Detects { at: 0 };
     }
     for (i, &p) in seq.patterns.iter().enumerate() {
-        let gset = match settle_set(ckt, &BTreeSet::from([good.clone()]), p, &none, &ecfg) {
+        let gset = match clean.settle_set(&BTreeSet::from([good.clone()]), p).ok() {
             Some(s) => s,
             None => return Verdict::Overflow,
         };
@@ -71,7 +75,7 @@ pub fn validate_test(ckt: &Circuit, fault: &Fault, seq: &TestSequence, k: usize)
         if !ckt.is_stable(&good) {
             return Verdict::GoodInvalid;
         }
-        fset = match settle_set(ckt, &fset, p, &inj, &ecfg) {
+        fset = match faulty.settle_set(&fset, p).ok() {
             Some(s) => s,
             None => return Verdict::Overflow,
         };

@@ -66,6 +66,11 @@ impl AtpgReport {
                         Json::int(self.cssg_pruned_unstable),
                     ),
                     ("truncated".to_string(), Json::int(self.cssg_truncated)),
+                    (
+                        "settle_states".to_string(),
+                        Json::int(self.cssg_settle_states),
+                    ),
+                    ("por_pruned".to_string(), Json::int(self.cssg_por_pruned)),
                 ]),
             ),
             (

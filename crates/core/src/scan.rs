@@ -15,7 +15,7 @@ use crate::cssg::Cssg;
 use crate::fault::Fault;
 use crate::three_phase::ThreePhaseConfig;
 use satpg_netlist::{Bits, Circuit, SignalId};
-use satpg_sim::{settle_set, ExplicitConfig};
+use satpg_sim::{Settler, SettlerConfig};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
 /// One scan candidate: an internal signal and the undetected faults it
@@ -63,22 +63,21 @@ fn exposing_signals(
     fault: &Fault,
     cfg: &ThreePhaseConfig,
 ) -> Vec<bool> {
-    let inj = fault.injection();
-    let ecfg = ExplicitConfig {
+    let scfg = SettlerConfig {
         k: cssg.k(),
-        max_states: cfg.max_set,
+        cap: cfg.settle_cap,
+        por: cfg.por,
         ternary_fast_path: true,
+        threads: 1,
     };
+    let mut settler = Settler::new(ckt, &fault.injection(), &scfg);
     let n = ckt.num_state_bits();
     let mut exposed = vec![false; n];
     let s0 = &cssg.states()[cssg.initial()];
-    let Some(f0) = settle_set(
-        ckt,
-        &BTreeSet::from([s0.clone()]),
-        ckt.input_pattern(s0),
-        &inj,
-        &ecfg,
-    ) else {
+    let Some(f0) = settler
+        .settle_set(&BTreeSet::from([s0.clone()]), ckt.input_pattern(s0))
+        .ok()
+    else {
         return exposed;
     };
     let key_of = |g: usize, f: &BTreeSet<Bits>| (g, f.iter().cloned().collect::<Vec<_>>());
@@ -100,7 +99,7 @@ fn exposing_signals(
         }
         let edges: Vec<(u64, usize)> = cssg.edges(good).to_vec();
         for (pattern, gsucc) in edges {
-            let Some(fsucc) = settle_set(ckt, &fset, pattern, &inj, &ecfg) else {
+            let Some(fsucc) = settler.settle_set(&fset, pattern).ok() else {
                 continue;
             };
             let key = key_of(gsucc, &fsucc);

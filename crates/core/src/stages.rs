@@ -278,6 +278,8 @@ pub fn assemble_report(
         cssg_pruned_nonconfluent: cssg.pruned_nonconfluent(),
         cssg_pruned_unstable: cssg.pruned_unstable(),
         cssg_truncated: cssg.pruned_truncated(),
+        cssg_settle_states: cssg.settle_stats().states_explored,
+        cssg_por_pruned: cssg.settle_stats().por_pruned,
         records,
         tests: state.tests,
         us_cssg: timings.us_cssg,

@@ -23,7 +23,7 @@
 use crate::cssg::{Cssg, TestSequence};
 use crate::fault::Fault;
 use satpg_netlist::{Bits, Circuit};
-use satpg_sim::{settle_set, ExplicitConfig};
+use satpg_sim::{CapPolicy, SettleStats, Settler, SettlerConfig};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
 /// Configuration for [`three_phase`].
@@ -33,8 +33,11 @@ pub struct ThreePhaseConfig {
     pub max_depth: usize,
     /// Maximum product states explored before aborting.
     pub max_nodes: usize,
-    /// Cap on the tracked faulty state set per settle.
-    pub max_set: usize,
+    /// Cap policy for the tracked faulty state set per settle (the old
+    /// `max_set: usize` is `CapPolicy::Fixed(n)`).
+    pub settle_cap: CapPolicy,
+    /// Partial-order reduction inside the faulty-machine settles.
+    pub por: bool,
 }
 
 impl Default for ThreePhaseConfig {
@@ -42,7 +45,8 @@ impl Default for ThreePhaseConfig {
         ThreePhaseConfig {
             max_depth: 64,
             max_nodes: 20_000,
-            max_set: 4096,
+            settle_cap: CapPolicy::Fixed(4096),
+            por: true,
         }
     }
 }
@@ -54,20 +58,31 @@ impl ThreePhaseConfig {
     /// The defaults are tuned to the paper's circuits (≲ 20 gates) and
     /// abort on larger generated families: the faulty-machine settle set
     /// grows roughly exponentially with the number of concurrently
-    /// excited gates, so `max_set` scales as `2^(gates/2 + 2)` — matched
-    /// to the observed onset (a 32-gate Muller pipeline first needs
-    /// 2¹⁴) — and the depth/node budgets scale linearly.  Every limit is
-    /// floored at its default, so for paper-sized circuits this is
-    /// exactly [`ThreePhaseConfig::default`].
+    /// excited gates, so the settle cap doubles every four gates from
+    /// the 4096 floor, reaching its 2^20 ceiling at 32 gates — just
+    /// under the observed muller-15 onset (32 gates), where the fixed
+    /// 4096 first aborted and 2^14+ was needed — and the depth/node
+    /// budgets scale linearly.  Every limit is floored at its default;
+    /// a cap only gates truncation, so the larger budgets cannot change
+    /// any verdict that completed under [`ThreePhaseConfig::default`].
     pub fn scaled(ckt: &Circuit) -> Self {
         let g = ckt.num_gates().max(1);
         let d = ThreePhaseConfig::default();
-        let set_exp = (g / 2 + 2).clamp(12, 20);
         ThreePhaseConfig {
             max_depth: d.max_depth.max(4 * g + 16),
             max_nodes: d.max_nodes.max(2_000 * g).min(1 << 21),
-            max_set: d.max_set.max(1 << set_exp),
+            settle_cap: CapPolicy::Scaled {
+                floor: 4096,
+                gates_per_doubling: 4,
+                ceil: 1 << 20,
+            },
+            por: true,
         }
+    }
+
+    /// The concrete settle-set cap for `ckt` under this configuration.
+    pub fn resolved_set_cap(&self, ckt: &Circuit) -> usize {
+        self.settle_cap.resolve(ckt.num_gates())
     }
 }
 
@@ -107,25 +122,47 @@ pub fn three_phase(
     fault: &Fault,
     cfg: &ThreePhaseConfig,
 ) -> FaultStatus {
+    three_phase_traced(ckt, cssg, fault, cfg).0
+}
+
+/// [`three_phase`] returning the settling-engine counters alongside the
+/// verdict (the engine workers aggregate them into their telemetry).
+pub fn three_phase_traced(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    fault: &Fault,
+    cfg: &ThreePhaseConfig,
+) -> (FaultStatus, SettleStats) {
     // --- Phase 1: fault activation (§5.1) — informational: the set of
     // exciting stable states prioritizes nothing in a BFS, and an empty
     // set does not disprove testability (pulse-only signals).
     let inj = fault.injection();
-    let ecfg = ExplicitConfig {
+    let scfg = SettlerConfig {
         k: cssg.k(),
-        max_states: cfg.max_set,
+        cap: cfg.settle_cap,
+        por: cfg.por,
         ternary_fast_path: true,
+        threads: 1,
     };
+    let mut settler = Settler::new(ckt, &inj, &scfg);
+    let status = three_phase_inner(ckt, cssg, cfg, &mut settler);
+    let stats = settler.take_stats();
+    (status, stats)
+}
 
+/// The product BFS, generic over the settling engine instance.
+fn three_phase_inner(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    cfg: &ThreePhaseConfig,
+    settler: &mut Settler,
+) -> FaultStatus {
     // --- Phases 2+3: product BFS (justification + differentiation). ---
     let s0 = &cssg.states()[cssg.initial()];
-    let Some(f0) = settle_set(
-        ckt,
-        &BTreeSet::from([s0.clone()]),
-        ckt.input_pattern(s0),
-        &inj,
-        &ecfg,
-    ) else {
+    let Some(f0) = settler
+        .settle_set(&BTreeSet::from([s0.clone()]), ckt.input_pattern(s0))
+        .ok()
+    else {
         return FaultStatus::Aborted;
     };
     if guaranteed_mismatch(ckt, s0, &f0) {
@@ -165,7 +202,7 @@ pub fn three_phase(
         let depth = nodes[ni].depth;
         let edges: Vec<(u64, usize)> = cssg.edges(good).to_vec();
         for (pattern, gsucc) in edges {
-            let Some(fsucc) = settle_set(ckt, &nodes[ni].faulty, pattern, &inj, &ecfg) else {
+            let Some(fsucc) = settler.settle_set(&nodes[ni].faulty, pattern).ok() else {
                 truncated = true;
                 continue;
             };
@@ -455,7 +492,8 @@ mod tests {
         let cfg = ThreePhaseConfig {
             max_depth: 0,
             max_nodes: 10,
-            max_set: 64,
+            settle_cap: CapPolicy::Fixed(64),
+            por: true,
         };
         // With no depth at all, anything not detected at reset aborts (or
         // is proved never-excited).

@@ -5,8 +5,8 @@ use crate::shard::{Popped, ShardedQueues};
 use satpg_core::json::Json;
 use satpg_core::stages::{random_stage, targeted_stage, FaultPlan, StageState};
 use satpg_core::{
-    build_cssg_sharded, faults_for, three_phase, AtpgConfig, AtpgReport, CoreError, Cssg, Fault,
-    FaultStatus, TestSequence,
+    build_cssg_sharded, faults_for, three_phase, three_phase_traced, AtpgConfig, AtpgReport,
+    CapPolicy, CoreError, Cssg, Fault, FaultStatus, TestSequence,
 };
 use satpg_netlist::Circuit;
 use std::sync::{OnceLock, RwLock};
@@ -29,6 +29,11 @@ pub enum EngineEvent {
         edges: usize,
         /// (state, pattern) pairs dropped at a resource limit.
         truncated: usize,
+        /// State expansions the settling analyses performed.
+        settle_states: u64,
+        /// Successor branches the partial-order reduction pruned
+        /// (0 with POR off — the explored-vs-saved ledger).
+        por_pruned: u64,
         /// Construction threads used (1 for a serial build; also 1 on a
         /// cache hit, where nothing was built).
         shards: usize,
@@ -111,6 +116,15 @@ pub struct EngineConfig {
     /// parallel; any value yields a CSSG structurally identical to the
     /// serial build (the `--cssg-shards` CLI flag).
     pub cssg_shards: usize,
+    /// Partial-order reduction inside every settling analysis (CSSG
+    /// construction and the workers' faulty-machine settles).  `false`
+    /// forces the naive walks regardless of the nested `atpg` config
+    /// (the `--no-por` CLI flag).
+    pub settle_por: bool,
+    /// Override for the settle-set cap policy of both layers; `None`
+    /// keeps the nested `atpg` config's policies (the `--settle-cap`
+    /// CLI flag).
+    pub settle_cap: Option<CapPolicy>,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +136,8 @@ impl Default for EngineConfig {
             symbolic_audit: true,
             gc_threshold: None,
             cssg_shards: 0,
+            settle_por: true,
+            settle_cap: None,
         }
     }
 }
@@ -160,6 +176,22 @@ impl EngineConfig {
             self.cssg_shards
         }
     }
+
+    /// The campaign with the settle overrides folded into the nested
+    /// flow configuration, so the CSSG build, the workers and the merge
+    /// all see one consistent settling policy.
+    fn normalized(&self) -> EngineConfig {
+        let mut cfg = self.clone();
+        if !cfg.settle_por {
+            cfg.atpg.cssg.por = false;
+            cfg.atpg.three_phase.por = false;
+        }
+        if let Some(cap) = cfg.settle_cap {
+            cfg.atpg.cssg.settle_cap = cap;
+            cfg.atpg.three_phase.settle_cap = cap;
+        }
+        cfg
+    }
 }
 
 /// Telemetry of one worker.
@@ -190,6 +222,15 @@ pub struct WorkerStats {
     pub bdd_reclaimed: usize,
     /// High-water mark of the private manager's unique table.
     pub bdd_peak_unique: usize,
+    /// State expansions this worker's settling analyses performed across
+    /// its three-phase searches.
+    pub settle_states: u64,
+    /// Successor branches the partial-order reduction pruned in those
+    /// analyses (0 with POR off).
+    pub settle_por_pruned: u64,
+    /// Settling analyses that fell back to the naive walk (the reduced
+    /// walk did not settle within `k`).
+    pub settle_fallbacks: u64,
     /// Wall-clock microseconds the worker was busy.
     pub us_busy: u128,
 }
@@ -219,6 +260,15 @@ impl WorkerStats {
             (
                 "bdd_peak_unique".to_string(),
                 Json::int(self.bdd_peak_unique),
+            ),
+            ("settle_states".to_string(), Json::int(self.settle_states)),
+            (
+                "settle_por_pruned".to_string(),
+                Json::int(self.settle_por_pruned),
+            ),
+            (
+                "settle_fallbacks".to_string(),
+                Json::int(self.settle_fallbacks),
             ),
             ("us_busy".to_string(), Json::int(self.us_busy)),
         ])
@@ -297,6 +347,7 @@ pub fn run_engine_streaming(
     cfg: &EngineConfig,
     sink: &dyn EngineSink,
 ) -> Result<EngineReport, CoreError> {
+    let cfg = &cfg.normalized();
     let shards = cfg.build_shards();
     let t0 = Instant::now();
     let cssg = build_cssg_sharded(ckt, &cfg.atpg.cssg, shards)?;
@@ -333,7 +384,7 @@ pub fn run_engine_on_streaming(
     us_cssg: u128,
     sink: &dyn EngineSink,
 ) -> EngineReport {
-    run_engine_built(ckt, cssg, faults, cfg, us_cssg, 1, sink)
+    run_engine_built(ckt, cssg, faults, &cfg.normalized(), us_cssg, 1, sink)
 }
 
 /// The campaign body: `cssg_shards` records how many threads built the
@@ -352,6 +403,8 @@ fn run_engine_built(
         states: cssg.num_states(),
         edges: cssg.num_edges(),
         truncated: cssg.pruned_truncated(),
+        settle_states: cssg.settle_stats().states_explored,
+        por_pruned: cssg.settle_stats().por_pruned,
         shards: cssg_shards,
         us: us_cssg,
     });
@@ -519,7 +572,10 @@ fn worker_loop(
             stats.stolen += 1;
         }
         let fault = plan.classes()[ci].representative;
-        let verdict = three_phase(ckt, cssg, &fault, &cfg.atpg.three_phase);
+        let (verdict, settle) = three_phase_traced(ckt, cssg, &fault, &cfg.atpg.three_phase);
+        stats.settle_states += settle.states_explored;
+        stats.settle_por_pruned += settle.por_pruned;
+        stats.settle_fallbacks += settle.fallbacks;
         stats.searched += 1;
         if let FaultStatus::Detected { sequence } = &verdict {
             stats.tests_found += 1;

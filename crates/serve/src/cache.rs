@@ -177,7 +177,7 @@ impl<K: Eq + Hash + Clone> Default for SingleFlight<K> {
 /// CSSGs keyed by canonical-netlist hash plus the transition bound `k`.
 pub struct SessionCache {
     circuits: Lru<u64, Arc<Circuit>>,
-    cssgs: Lru<(u64, Option<usize>), Arc<Cssg>>,
+    cssgs: Lru<(u64, Option<usize>, u64), Arc<Cssg>>,
 }
 
 impl SessionCache {
@@ -200,18 +200,18 @@ impl SessionCache {
     }
 
     /// Looks up a CSSG by canonical-netlist hash and transition bound.
-    pub fn get_cssg(&mut self, key: (u64, Option<usize>)) -> Option<Arc<Cssg>> {
+    pub fn get_cssg(&mut self, key: (u64, Option<usize>, u64)) -> Option<Arc<Cssg>> {
         self.cssgs.get(&key)
     }
 
     /// [`SessionCache::get_cssg`] without counting: the single-flight
     /// double-check already recorded its miss on the first probe.
-    pub fn peek_cssg(&self, key: (u64, Option<usize>)) -> Option<Arc<Cssg>> {
+    pub fn peek_cssg(&self, key: (u64, Option<usize>, u64)) -> Option<Arc<Cssg>> {
         self.cssgs.peek(&key)
     }
 
     /// Stores a CSSG.
-    pub fn put_cssg(&mut self, key: (u64, Option<usize>), cssg: Arc<Cssg>) {
+    pub fn put_cssg(&mut self, key: (u64, Option<usize>, u64), cssg: Arc<Cssg>) {
         self.cssgs.put(key, cssg);
     }
 
@@ -323,7 +323,7 @@ mod tests {
         let ckt = Arc::new(satpg_netlist::library::c_element());
         c.put_circuit(7, ckt.clone());
         assert!(c.get_circuit(7).is_some());
-        assert!(c.get_cssg((7, None)).is_none());
+        assert!(c.get_cssg((7, None, 0)).is_none());
         assert_eq!(c.circuit_stats().hits, 1);
         assert_eq!(c.cssg_stats().misses, 1);
         let v = c.to_json_value();

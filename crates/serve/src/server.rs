@@ -74,11 +74,27 @@ struct QueuedJob {
     tx: mpsc::Sender<Json>,
 }
 
-/// CSSG cache key: canonical-netlist hash plus the transition bound.
-/// Deliberately *not* keyed by shard count — sharded and serial builds
-/// are structurally identical, so either satisfies a request for the
-/// other.
-type CssgKey = (u64, Option<usize>);
+/// CSSG cache key: canonical-netlist hash, the transition bound, and a
+/// hash of the settling policy ([`settle_signature`]).  Deliberately
+/// *not* keyed by shard count — sharded and serial builds are
+/// structurally identical, so either satisfies a request for the other —
+/// but POR/naive walks and different cap policies get distinct keys:
+/// where one truncates and the other does not, their graphs differ.
+type CssgKey = (u64, Option<usize>, u64);
+
+/// Hash of the settling policy a CSSG was built under: the POR flag,
+/// the cap policy and the ternary fast path.  `CapPolicy`'s `Debug`
+/// form is a stable rendering of its parameters, so equal policies hash
+/// equal.
+fn settle_signature(cfg: &satpg_core::CssgConfig) -> u64 {
+    fnv64(
+        format!(
+            "por={};cap={:?};fast={}",
+            cfg.por, cfg.settle_cap, cfg.ternary_fast_path
+        )
+        .as_bytes(),
+    )
+}
 
 struct State {
     cfg: ServeConfig,
@@ -248,6 +264,8 @@ impl EngineSink for ChannelSink {
                 states,
                 edges,
                 truncated,
+                settle_states,
+                por_pruned,
                 shards: _,
                 us,
             } => self.send(event::stage(
@@ -258,6 +276,8 @@ impl EngineSink for ChannelSink {
                     ("states".to_string(), Json::int(states)),
                     ("edges".to_string(), Json::int(edges)),
                     ("truncated".to_string(), Json::int(truncated)),
+                    ("settle_states".to_string(), Json::int(settle_states)),
+                    ("por_pruned".to_string(), Json::int(por_pruned)),
                     // The daemon builds (or cache-serves) the CSSG
                     // itself, so the engine-side count is always 1;
                     // report the daemon's actual build fan-out instead.
@@ -368,13 +388,22 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
         symbolic_audit: true,
         gc_threshold: job.spec.gc_threshold.or(state.cfg.gc_threshold),
         cssg_shards: 0,
+        settle_por: true,
+        settle_cap: None,
     };
 
-    // --- CSSG: keyed by canonical netlist text + transition bound, the
-    // same key for sharded and serial builds (identical structure).
+    // --- CSSG: keyed by canonical netlist text + transition bound + a
+    // settle-policy signature (POR flag, cap policy, fast path), the
+    // same key for sharded and serial builds (identical structure) but
+    // distinct keys for POR and naive walks — their graphs agree only
+    // where the naive walk completes, so they must not alias.
     // Concurrent misses on one key single-flight through `cssg_flight`:
     // the first requester builds, later ones block and then hit.
-    let skey: CssgKey = (fnv64(to_ckt(&ckt).as_bytes()), job.spec.k);
+    let skey: CssgKey = (
+        fnv64(to_ckt(&ckt).as_bytes()),
+        job.spec.k,
+        settle_signature(&cfg.atpg.cssg),
+    );
     let shards = cfg.build_shards();
     let (cssg, cssg_cache, us_cssg) = loop {
         if let Some(g) = state.cache.lock().expect("cache lock").get_cssg(skey) {

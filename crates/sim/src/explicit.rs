@@ -7,48 +7,20 @@
 //! every interleaving of gate switchings settles to the same place within
 //! the test cycle.
 //!
-//! This is the reference semantics for the synchronous abstraction; it is
-//! exponential in the worst case, so [`ExplicitConfig::max_states`] caps
-//! the explored set (an overflow is reported and treated as invalid,
-//! which is conservative).
+//! This module is the legacy surface: [`settle_explicit`] and
+//! [`settle_set`] are thin adapters over the unified
+//! [`Settler`](crate::Settler) engine, pinned to its naive (no
+//! partial-order reduction, fixed-cap) mode so their historical
+//! semantics — including the exact truncation boundary — are preserved
+//! bit for bit.  New code should drive [`Settler`](crate::Settler)
+//! directly and pick a [`CapPolicy`](crate::CapPolicy).
 
-use crate::inject::{is_excited_inj, Injection};
-use crate::ternary::{ternary_settle, TernaryOutcome};
-use satpg_netlist::{Bits, Circuit, GateId};
+use crate::inject::Injection;
+use crate::settler::{CapPolicy, Settle, Settler, SettlerConfig};
+use satpg_netlist::{Bits, Circuit};
 use std::collections::BTreeSet;
 
-/// Outcome of a k-bounded settling analysis.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum Settle {
-    /// Exactly one stable state is reachable at depth `k`: the vector is
-    /// valid and this is where the circuit settles.
-    Confluent(Bits),
-    /// All interleavings have stabilized by depth `k`, but to different
-    /// states (a critical race / non-confluence).
-    NonConfluent(Vec<Bits>),
-    /// Some interleaving is still switching at depth `k`: oscillation or
-    /// a settling time longer than the test cycle.
-    Unstable(Vec<Bits>),
-    /// The explored state set exceeded [`ExplicitConfig::max_states`].
-    Overflow,
-}
-
-impl Settle {
-    /// The settled state for valid vectors.
-    pub fn confluent(&self) -> Option<&Bits> {
-        match self {
-            Settle::Confluent(b) => Some(b),
-            _ => None,
-        }
-    }
-
-    /// Whether the vector may be used for testing.
-    pub fn is_valid(&self) -> bool {
-        matches!(self, Settle::Confluent(_))
-    }
-}
-
-/// Configuration for [`settle_explicit`].
+/// Configuration for [`settle_explicit`] (the legacy fixed-cap shape).
 #[derive(Clone, Copy, Debug)]
 pub struct ExplicitConfig {
     /// Maximum number of transitions `k` (the test-cycle bound of §4.1).
@@ -84,6 +56,18 @@ impl ExplicitConfig {
             ..Self::for_circuit(ckt)
         }
     }
+
+    /// The equivalent [`SettlerConfig`]: fixed cap, POR off, serial —
+    /// the exact legacy walk.
+    pub fn settler(&self) -> SettlerConfig {
+        SettlerConfig {
+            k: self.k,
+            cap: CapPolicy::Fixed(self.max_states),
+            por: false,
+            ternary_fast_path: self.ternary_fast_path,
+            threads: 1,
+        }
+    }
 }
 
 /// Runs the k-bounded settling analysis for input `pattern` applied to the
@@ -99,55 +83,7 @@ pub fn settle_explicit(
     inj: &Injection,
     cfg: &ExplicitConfig,
 ) -> Settle {
-    if cfg.ternary_fast_path {
-        if let TernaryOutcome::Definite(b) = ternary_settle(ckt, from, pattern, inj) {
-            return Settle::Confluent(b);
-        }
-    }
-    let start = ckt.with_inputs(from, pattern);
-    let mut frontier: BTreeSet<Bits> = BTreeSet::new();
-    frontier.insert(start);
-    // Input application was step 1; k-1 gate steps remain.
-    for _ in 1..cfg.k.max(1) {
-        let mut next: BTreeSet<Bits> = BTreeSet::new();
-        let mut any_unstable = false;
-        for s in &frontier {
-            let excited: Vec<GateId> = (0..ckt.num_gates())
-                .map(|i| GateId(i as u32))
-                .filter(|&g| is_excited_inj(ckt, g, s, inj))
-                .collect();
-            if excited.is_empty() {
-                next.insert(s.clone());
-            } else {
-                any_unstable = true;
-                for g in excited {
-                    let mut t = s.clone();
-                    t.toggle(ckt.gate_output(g).index());
-                    next.insert(t);
-                }
-            }
-        }
-        if next.len() > cfg.max_states {
-            return Settle::Overflow;
-        }
-        let done = !any_unstable;
-        frontier = next;
-        if done {
-            break;
-        }
-    }
-    let (stable, unstable): (Vec<Bits>, Vec<Bits>) = frontier.into_iter().partition(|s| {
-        (0..ckt.num_gates()).all(|i| !is_excited_inj(ckt, GateId(i as u32), s, inj))
-    });
-    if !unstable.is_empty() {
-        let mut all = stable;
-        all.extend(unstable);
-        return Settle::Unstable(all);
-    }
-    match stable.len() {
-        1 => Settle::Confluent(stable.into_iter().next().expect("len checked")),
-        _ => Settle::NonConfluent(stable),
-    }
+    Settler::new(ckt, inj, &cfg.settler()).settle(from, pattern)
 }
 
 /// The set of states the (possibly faulty) circuit may occupy when the
@@ -161,7 +97,9 @@ pub fn settle_explicit(
 /// absorb) and the result equals the unique/raced settle set.
 ///
 /// Returns `None` when the tracked set exceeds `cfg.max_states`
-/// (conservative: the caller must not claim detection).
+/// (conservative: the caller must not claim detection).  The underlying
+/// [`Settler::settle_set`] reports the same condition as a distinct
+/// [`crate::SetSettle::Truncated`] verdict.
 pub fn settle_set(
     ckt: &Circuit,
     from: &BTreeSet<Bits>,
@@ -169,79 +107,16 @@ pub fn settle_set(
     inj: &Injection,
     cfg: &ExplicitConfig,
 ) -> Option<BTreeSet<Bits>> {
-    // Fast path: a singleton, ternary-definite settle is exact (also
-    // under injection: definite means every interleaving agrees).
-    if cfg.ternary_fast_path && from.len() == 1 {
-        let only = from.iter().next().expect("len checked");
-        if let TernaryOutcome::Definite(b) = ternary_settle(ckt, only, pattern, inj) {
-            return Some(BTreeSet::from([b]));
-        }
-    }
-    let step = |frontier: &BTreeSet<Bits>| -> (BTreeSet<Bits>, bool) {
-        let mut next = BTreeSet::new();
-        let mut any_unstable = false;
-        for s in frontier {
-            let excited: Vec<GateId> = (0..ckt.num_gates())
-                .map(|i| GateId(i as u32))
-                .filter(|&g| is_excited_inj(ckt, g, s, inj))
-                .collect();
-            if excited.is_empty() {
-                next.insert(s.clone());
-            } else {
-                any_unstable = true;
-                for g in excited {
-                    let mut t = s.clone();
-                    t.toggle(ckt.gate_output(g).index());
-                    next.insert(t);
-                }
-            }
-        }
-        (next, any_unstable)
-    };
-    let mut frontier: BTreeSet<Bits> = from.iter().map(|s| ckt.with_inputs(s, pattern)).collect();
-    let mut settled_early = false;
-    for _ in 1..cfg.k.max(1) {
-        let (next, any_unstable) = step(&frontier);
-        if next.len() > cfg.max_states {
-            return None;
-        }
-        frontier = next;
-        if !any_unstable {
-            settled_early = true;
-            break;
-        }
-    }
-    if settled_early {
-        return Some(frontier);
-    }
-    // Closure: union further frontiers until nothing new appears (once a
-    // step adds no states, no later step can — the step image of a subset
-    // of the union stays inside the union).
-    let mut union = frontier.clone();
-    for _ in 0..4 * cfg.k + 4 {
-        let (next, any_unstable) = step(&frontier);
-        if next.len() > cfg.max_states {
-            return None;
-        }
-        let before = union.len();
-        union.extend(next.iter().cloned());
-        if union.len() > cfg.max_states {
-            return None;
-        }
-        frontier = next;
-        if !any_unstable || union.len() == before {
-            return Some(union);
-        }
-    }
-    // Still growing: the closure is incomplete, so claiming any verdict
-    // from it would be unsound.
-    None
+    Settler::new(ckt, inj, &cfg.settler())
+        .settle_set(from, pattern)
+        .ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::inject::Site;
+    use crate::ternary::{ternary_settle, TernaryOutcome};
     use satpg_netlist::library;
 
     fn cfg_exact(ckt: &Circuit) -> ExplicitConfig {
@@ -359,7 +234,7 @@ mod tests {
     }
 
     #[test]
-    fn overflow_is_reported() {
+    fn truncation_is_reported() {
         let c = library::figure1a();
         let cfg = ExplicitConfig {
             k: 64,
@@ -367,7 +242,7 @@ mod tests {
             ternary_fast_path: false,
         };
         let r = settle_explicit(&c, c.initial_state(), 0b01, &Injection::none(), &cfg);
-        assert_eq!(r, Settle::Overflow);
+        assert_eq!(r, Settle::Truncated);
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! * [`PlaneState`] — the same ternary analysis, bit-parallel over 64
 //!   machines at once (the good circuit plus 63 faulty ones), the engine
 //!   behind random TPG and fault simulation.
-//! * [`settle_explicit`] — exhaustive interleaving exploration (the
-//!   k-bounded settling analysis that *defines* the CSSG), also usable as
-//!   a nondeterministic oracle to validate emitted tests against any gate
-//!   delays.
+//! * [`Settler`] — the unified settling engine: exhaustive interleaving
+//!   exploration (the k-bounded settling analysis that *defines* the
+//!   CSSG) with partial-order reduction over commuting gate switchings,
+//!   adaptive caps ([`CapPolicy`]) and optional intra-settle
+//!   parallelism.  [`settle_explicit`] / [`settle_set`] are its legacy
+//!   naive-mode adapters, also usable as a nondeterministic oracle to
+//!   validate emitted tests against any gate delays.
 //!
 //! Faults never modify a netlist: every engine accepts an [`Injection`]
 //! that forces gate input pins or gate outputs to constants, so the same
@@ -22,9 +25,11 @@
 mod explicit;
 mod inject;
 mod parallel;
+mod settler;
 mod ternary;
 
-pub use explicit::{settle_explicit, settle_set, ExplicitConfig, Settle};
+pub use explicit::{settle_explicit, settle_set, ExplicitConfig};
 pub use inject::{eval_gate_inj, is_excited_inj, Force, Injection, Site};
 pub use parallel::{parallel_settle, ParallelInjection, PlaneState};
+pub use settler::{CapPolicy, SetSettle, Settle, SettleStats, Settler, SettlerConfig};
 pub use ternary::{ternary_settle, ternary_settle_from, TernaryOutcome, Trit, TritVec};

@@ -101,7 +101,7 @@ proptest! {
             prop_assert!(c.is_stable(&tb), "ternary-definite state must be stable");
             match settle_explicit(&c, c.initial_state(), pattern, &Injection::none(), &exact_cfg(&c)) {
                 Settle::Confluent(eb) => prop_assert_eq!(tb, eb),
-                Settle::Overflow => {} // cap hit; no verdict
+                Settle::Truncated => {} // cap hit; no verdict
                 Settle::NonConfluent(_) => {
                     return Err(TestCaseError::fail(
                         "ternary definite but explicit says non-confluent".to_string(),

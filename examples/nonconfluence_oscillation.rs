@@ -41,7 +41,7 @@ fn analyze(ckt: &satpg::netlist::Circuit, pattern: u64, label: &str) {
                 states.len()
             )
         }
-        Settle::Overflow => println!("  exact: overflow"),
+        Settle::Truncated => println!("  exact: overflow"),
     }
 }
 

@@ -46,7 +46,8 @@ pub mod prelude {
     pub use satpg_engine::{run_engine, EngineConfig, EngineReport, WorkerStats};
     pub use satpg_netlist::{Bits, Circuit, CircuitBuilder, GateKind};
     pub use satpg_sim::{
-        settle_explicit, ternary_settle, ExplicitConfig, Injection, Settle, Site, TernaryOutcome,
+        settle_explicit, ternary_settle, CapPolicy, ExplicitConfig, Injection, Settle, SettleStats,
+        Settler, SettlerConfig, Site, TernaryOutcome,
     };
     pub use satpg_stg::{parse_g, synth, StateGraph};
 }

@@ -23,8 +23,8 @@ use satpg::core::json::Json;
 use satpg::core::report::{format_table, TableRow};
 use satpg::core::tester::TestProgram;
 use satpg::core::{
-    build_cssg_sharded, run_atpg, run_atpg_on, AtpgConfig, CoreError, CssgConfig, FaultModel,
-    ThreePhaseConfig,
+    build_cssg_sharded, run_atpg, run_atpg_on, AtpgConfig, CapPolicy, CoreError, CssgConfig,
+    FaultModel, ThreePhaseConfig,
 };
 use satpg::engine::{run_engine, EngineConfig};
 use satpg::netlist::{parse_ckt, to_ckt, Circuit};
@@ -42,9 +42,11 @@ fn usage() -> ExitCode {
          commands:\n  \
            list\n  \
            synth <bench> [--style si|2l|2lr]\n  \
-           cssg  <bench> [--style si|2l|2lr] [--k N] [--cssg-shards N]\n  \
+           cssg  <bench> [--style si|2l|2lr] [--k N] [--cssg-shards N] [--no-por]\n          \
+                  [--settle-cap N] [--settle-threads N]\n  \
            atpg  <bench> [--style si|2l|2lr] [--output-model] [--collapse] [--no-random]\n          \
-                  [--program] [--json] [--cssg-shards N]\n  \
+                  [--program] [--json] [--cssg-shards N] [--no-por] [--settle-cap N]\n          \
+                  [--settle-threads N]\n  \
            scan  <bench> [--style si|2l|2lr]\n  \
            table <1|2>\n  \
            dot   <bench> [--style si|2l|2lr]\n  \
@@ -52,7 +54,10 @@ fn usage() -> ExitCode {
            engine <bench|-> [--style si|2l|2lr] [--k N] [--workers N] [--output-model]\n          \
                   [--collapse] [--no-random] [--no-broadcast] [--no-audit] [--json]\n          \
                   [--gc-threshold N]  # sweep worker BDDs above N live nodes\n          \
-                  [--cssg-shards N]   # parallel CSSG build (0 = worker count)\n  \
+                  [--cssg-shards N]   # parallel CSSG build (0 = worker count)\n          \
+                  [--no-por]          # naive interleaving walks (no reduction)\n          \
+                  [--settle-cap N]    # fixed interleaving-set cap (default: scaled)\n          \
+                  [--settle-threads N]# threads per settle; multiplies --cssg-shards\n  \
            serve  [--addr HOST:PORT|unix:PATH] [--serve-workers N] [--queue-depth N]\n          \
                   [--cache-size N] [--workers N] [--gc-threshold N]\n  \
            submit <bench|-> [--addr A] [--style si|2l|2lr] [--family F --size K]\n          \
@@ -78,6 +83,9 @@ struct Opts {
     no_audit: bool,
     gc_threshold: Option<usize>,
     cssg_shards: usize,
+    no_por: bool,
+    settle_cap: Option<usize>,
+    settle_threads: usize,
     json: bool,
     addr: String,
     family: Option<String>,
@@ -101,6 +109,9 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         no_audit: false,
         gc_threshold: None,
         cssg_shards: 0,
+        no_por: false,
+        settle_cap: None,
+        settle_threads: 1,
         json: false,
         addr: DEFAULT_ADDR.into(),
         family: None,
@@ -123,6 +134,9 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--no-audit" => o.no_audit = true,
             "--gc-threshold" => o.gc_threshold = Some(it.next()?.parse().ok()?),
             "--cssg-shards" => o.cssg_shards = it.next()?.parse().ok()?,
+            "--no-por" => o.no_por = true,
+            "--settle-cap" => o.settle_cap = Some(it.next()?.parse().ok()?),
+            "--settle-threads" => o.settle_threads = it.next()?.parse().ok()?,
             "--json" => o.json = true,
             "--addr" => o.addr = it.next()?.clone(),
             "--family" => o.family = Some(it.next()?.clone()),
@@ -142,6 +156,34 @@ fn parse_opts_bench(args: &[String]) -> Option<Opts> {
     let o = parse_opts(args)?;
     o.bench.as_ref()?;
     Some(o)
+}
+
+/// The CSSG configuration the settle flags induce.
+fn cssg_config(o: &Opts) -> CssgConfig {
+    let mut cfg = CssgConfig {
+        k: o.k,
+        settle_threads: o.settle_threads,
+        ..CssgConfig::default()
+    };
+    if o.no_por {
+        cfg.por = false;
+    }
+    if let Some(n) = o.settle_cap {
+        cfg.settle_cap = CapPolicy::Fixed(n);
+    }
+    cfg
+}
+
+/// [`ThreePhaseConfig::scaled`] with the settle flags applied.
+fn three_phase_config(o: &Opts, ckt: &Circuit) -> ThreePhaseConfig {
+    let mut cfg = ThreePhaseConfig::scaled(ckt);
+    if o.no_por {
+        cfg.por = false;
+    }
+    if let Some(n) = o.settle_cap {
+        cfg.settle_cap = CapPolicy::Fixed(n);
+    }
+    cfg
 }
 
 fn synthesize(name: &str, style: &str) -> Result<Circuit, String> {
@@ -275,10 +317,7 @@ fn main() -> ExitCode {
             };
             let cfg = EngineConfig {
                 atpg: AtpgConfig {
-                    cssg: CssgConfig {
-                        k: o.k,
-                        ..CssgConfig::default()
-                    },
+                    cssg: cssg_config(&o),
                     random: if o.no_random {
                         None
                     } else {
@@ -291,13 +330,15 @@ fn main() -> ExitCode {
                     },
                     collapse: o.collapse,
                     fault_sim: true,
-                    three_phase: ThreePhaseConfig::scaled(&ckt),
+                    three_phase: three_phase_config(&o, &ckt),
                 },
                 workers: o.workers,
                 broadcast: !o.no_broadcast,
                 symbolic_audit: !o.no_audit,
                 gc_threshold: o.gc_threshold,
                 cssg_shards: o.cssg_shards,
+                settle_por: !o.no_por,
+                settle_cap: o.settle_cap.map(CapPolicy::Fixed),
             };
             match run_engine(&ckt, &cfg) {
                 Ok(out) => {
@@ -328,7 +369,7 @@ fn main() -> ExitCode {
                     );
                     for w in &out.workers {
                         println!(
-                            "  worker {}: searched {:>3} (stolen {:>3}), tests {:>3}, drops {:>3}, bdd {} nodes / {} cache ({} clears), gc {} sweeps / {} reclaimed (peak {}), busy {} us",
+                            "  worker {}: searched {:>3} (stolen {:>3}), tests {:>3}, drops {:>3}, bdd {} nodes / {} cache ({} clears), gc {} sweeps / {} reclaimed (peak {}), settle {} states / {} por-pruned, busy {} us",
                             w.worker,
                             w.searched,
                             w.stolen,
@@ -340,6 +381,8 @@ fn main() -> ExitCode {
                             w.bdd_gc_runs,
                             w.bdd_reclaimed,
                             w.bdd_peak_unique,
+                            w.settle_states,
+                            w.settle_por_pruned,
                             w.us_busy
                         );
                     }
@@ -385,10 +428,7 @@ fn main() -> ExitCode {
                 }
                 "dot" => print!("{}", ckt.to_dot()),
                 "cssg" => {
-                    let cfg = CssgConfig {
-                        k: o.k,
-                        ..CssgConfig::default()
-                    };
+                    let cfg = cssg_config(&o);
                     match build_cssg_sharded(&ckt, &cfg, o.cssg_shards.max(1)) {
                         Ok(c) => {
                             println!(
@@ -400,6 +440,15 @@ fn main() -> ExitCode {
                                 c.pruned_unstable(),
                                 c.pruned_truncated()
                             );
+                            let ss = c.settle_stats();
+                            println!(
+                                "settler: {} state expansions over {} analyses; POR reduced {} expansions, pruned {} branches{}",
+                                ss.states_explored,
+                                ss.settles,
+                                ss.por_states,
+                                ss.por_pruned,
+                                if cfg.por { "" } else { " (POR off)" }
+                            );
                         }
                         Err(e) => {
                             eprintln!("error: {e}");
@@ -409,10 +458,7 @@ fn main() -> ExitCode {
                 }
                 "atpg" => {
                     let cfg = AtpgConfig {
-                        cssg: CssgConfig {
-                            k: o.k,
-                            ..CssgConfig::default()
-                        },
+                        cssg: cssg_config(&o),
                         random: if o.no_random {
                             None
                         } else {
@@ -425,7 +471,7 @@ fn main() -> ExitCode {
                         },
                         collapse: o.collapse,
                         fault_sim: true,
-                        three_phase: ThreePhaseConfig::scaled(&ckt),
+                        three_phase: three_phase_config(&o, &ckt),
                     };
                     // The abstraction is built up front (optionally
                     // sharded — structurally identical either way) and

@@ -114,12 +114,14 @@ fn explicit_sharded_matches_serial_under_exact_semantics_and_small_k() {
     }
 }
 
-/// A tight interleaving-set cap forces `Settle::Overflow` truncations;
+/// A tight interleaving-set cap forces `Settle::Truncated` truncations;
 /// the summed `pruned_truncated` must match the serial count exactly.
+/// POR off so the naive walk actually hits the cap.
 #[test]
 fn explicit_sharded_matches_serial_with_truncations() {
     let cfg = CssgConfig {
-        max_settle_states: 8,
+        settle_cap: satpg::core::CapPolicy::Fixed(8),
+        por: false,
         ternary_fast_path: false,
         ..CssgConfig::default()
     };

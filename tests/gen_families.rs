@@ -44,19 +44,56 @@ fn scaled_limits_floor_at_paper_defaults() {
     let s = ThreePhaseConfig::scaled(&small);
     assert_eq!(s.max_depth, d.max_depth);
     assert_eq!(s.max_nodes, d.max_nodes);
-    assert_eq!(s.max_set, d.max_set);
-    // Larger circuits scale monotonically, with max_set unlocked past
-    // the observed muller-15 onset (32 gates -> at least 2^14).
+    // The settle cap is floored at the paper default.  (It may exceed it
+    // even for small circuits; a cap only gates truncation, so a larger
+    // value can never change a verdict that completed under the default.)
+    assert!(s.resolved_set_cap(&small) >= d.resolved_set_cap(&small));
+    // Larger circuits scale monotonically, with the settle cap unlocked
+    // past the observed muller-15 onset (32 gates -> at least 2^14).
     let big = muller_pipeline(15);
     let sb = ThreePhaseConfig::scaled(&big);
     assert!(sb.max_depth > d.max_depth);
     assert!(sb.max_nodes > d.max_nodes);
-    assert!(sb.max_set >= 1 << 14, "max_set {} too small", sb.max_set);
+    let cap = sb.resolved_set_cap(&big);
+    assert!(cap >= 1 << 14, "settle cap {cap} too small");
+    // The CSSG-side cap scales too: muller-19 (38 gates) gets at least
+    // 2^19 tracked interleavings where the old fixed 2^15 truncated.
+    use satpg::core::CssgConfig;
+    let cssg_cap = CssgConfig::default()
+        .settle_cap
+        .resolve(muller_pipeline(19).num_gates());
+    assert!(cssg_cap >= 1 << 19, "CSSG settle cap {cssg_cap} too small");
 }
 
 #[test]
 fn muller_family_completes_at_size_12() {
     assert_no_aborts(&muller_pipeline(12));
+}
+
+/// The sizes past the old truncation boundary: with the scaled settle
+/// cap and partial-order reduction, muller-19 and muller-20 build an
+/// untruncated CSSG and complete the full flow with no aborts — the
+/// sizes where PR 4's coverage sweep measured the CSSG collapsing from
+/// ~40 states to 2 under the fixed 2^15 cap.  Quick tier because POR
+/// makes them milliseconds.
+#[test]
+fn muller_family_completes_past_old_truncation_boundary() {
+    for size in [19usize, 20] {
+        let ckt = muller_pipeline(size);
+        let cfg = AtpgConfig::scaled(&ckt);
+        let cssg = satpg::core::build_cssg(&ckt, &cfg.cssg).unwrap();
+        assert_eq!(
+            cssg.pruned_truncated(),
+            0,
+            "muller-{size}: the settling analyses must not truncate"
+        );
+        assert!(
+            cssg.num_states() > 2,
+            "muller-{size}: the CSSG must not collapse (got {} states)",
+            cssg.num_states()
+        );
+        assert_no_aborts(&ckt);
+    }
 }
 
 #[test]
@@ -92,19 +129,36 @@ fn engine_on_generated_family_with_scaled_limits() {
     assert!(satpg::engine::reports_identical(&out.report, &serial));
 }
 
-/// Release-tier pins: the sizes that abort on the defaults must
-/// complete under the scaled limits.  Run via the CI GC-stress job
+/// Release-tier pins: the sizes whose *naive* walks abort on the
+/// paper-default limits must complete under the scaled limits.  The
+/// historical behavior (fixed 4096 faulty-set cap, exhaustive walk)
+/// is reproduced with POR off; with POR on — the default since PR 5 —
+/// even the paper caps suffice at these sizes, which is pinned as the
+/// improvement.  Run via the CI GC-stress job
 /// (`cargo test --release --test gen_families -- --include-ignored`).
 #[test]
 #[ignore = "release-mode tier: several seconds in debug builds"]
 fn muller_family_completes_at_previously_aborting_sizes() {
     for size in [15usize, 16] {
         let ckt = muller_pipeline(size);
-        let defaults = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        // The legacy configuration: paper caps, naive walks.
+        let mut legacy = AtpgConfig::paper();
+        legacy.cssg.por = false;
+        legacy.three_phase.por = false;
+        let defaults = run_atpg(&ckt, &legacy).unwrap();
         assert!(
             defaults.aborted() > 0,
-            "muller-{size} no longer aborts on defaults; move the pin up"
+            "muller-{size} no longer aborts on naive defaults; move the pin up"
         );
+        // POR collapses the faulty-machine settle sets so far that the
+        // paper caps now complete unaided...
+        let por_defaults = run_atpg(&ckt, &AtpgConfig::paper()).unwrap();
+        assert_eq!(
+            por_defaults.aborted(),
+            0,
+            "muller-{size}: POR should complete even under paper caps"
+        );
+        // ...and the scaled limits complete regardless.
         assert_no_aborts(&ckt);
     }
 }

@@ -20,13 +20,22 @@
 //!   `muller_redundancy_flag` line is emitted so ROADMAP can be updated
 //!   with data.
 //!
+//! Since PR 5 the default configuration runs the settling analyses with
+//! partial-order reduction and a circuit-scaled cap, which eliminated
+//! the truncation collapse entirely: the sweep now **fails** if any
+//! size ≤ 22 truncates (`pruned_truncated > 0`) or drops below 100%
+//! efficiency — that boundary is a regression gate, not a data point,
+//! and CI runs sizes 18–22 against it.  The JSON lines carry the POR
+//! ledger (`settle_states`, `por_pruned`) so the artifact records the
+//! explored-vs-saved ratio per size.
+//!
 //! Knobs (for CI slicing): `MULLER_SWEEP_SIZES` — comma-separated sizes
 //! (default `16,17,18,19,20,21,22`); `MULLER_SWEEP_SHARDS` — CSSG build
 //! fan-out (default 4; any value is structurally identical).
 //!
-//! Release tier: a full sweep is minutes of wall clock, so the test is
-//! `#[ignore]`d and run with `--include-ignored` (CI runs the single
-//! size 18).
+//! Release tier: `#[ignore]`d and run with `--include-ignored` — with
+//! POR the full sweep is now well under a minute, but it stays in the
+//! release tier alongside the other study harnesses.
 
 use satpg::core::json::Json;
 use satpg::core::{build_cssg_sharded, run_atpg_on, AtpgConfig, AtpgReport};
@@ -40,6 +49,7 @@ struct Sample {
     json: String,
     untestable: usize,
     truncated: usize,
+    efficiency: f64,
 }
 
 fn sweep_sizes() -> Vec<usize> {
@@ -83,6 +93,9 @@ fn measure(size: usize, shards: usize) -> Sample {
                 json: line.render(),
                 untestable: 0,
                 truncated: 0,
+                // A failed build counts as 0% so the ≤ 22 regression
+                // gate below trips on it.
+                efficiency: 0.0,
             };
         }
     };
@@ -93,6 +106,7 @@ fn measure(size: usize, shards: usize) -> Sample {
         "{{\"bench\":\"muller_coverage_sweep\",\"size\":{size},\
          \"faults\":{},\"detected\":{},\"untestable\":{},\"aborted\":{},\
          \"cssg_states\":{},\"cssg_edges\":{},\"pruned_truncated\":{},\
+         \"settle_states\":{},\"por_pruned\":{},\
          \"coverage_pct\":{:.2},\"efficiency_pct\":{:.2},\"us_total\":{}}}",
         report.total(),
         report.covered(),
@@ -101,15 +115,19 @@ fn measure(size: usize, shards: usize) -> Sample {
         cssg.num_states(),
         cssg.num_edges(),
         cssg.pruned_truncated(),
+        cssg.settle_stats().states_explored,
+        cssg.settle_stats().por_pruned,
         report.coverage(),
         report.efficiency(),
         report.us_total(),
     );
+    let efficiency = report.efficiency();
     Sample {
         size,
         json,
         untestable: report.untestable(),
         truncated: cssg.pruned_truncated(),
+        efficiency,
     }
 }
 
@@ -124,6 +142,21 @@ fn muller_coverage_truncation_sweep() {
         let sample = measure(size, shards);
         println!("{}", sample.json);
         let _ = writeln!(lines, "{}", sample.json);
+        // Regression gate (PR 5): with POR + the scaled cap, every size
+        // up to 22 must build untruncated and reach 100% efficiency.
+        // A failure here means the settling engine regressed to the
+        // pre-POR collapse, not that the circuit grew redundant.
+        if size <= 22 {
+            assert_eq!(
+                sample.truncated, 0,
+                "muller-{size}: settling analyses truncated under the default config"
+            );
+            assert!(
+                sample.efficiency > 99.99,
+                "muller-{size}: efficiency {:.2}% under the default config",
+                sample.efficiency
+            );
+        }
         if sample.untestable > 0 {
             if sample.truncated > 0 {
                 // Consistent with the truncation-artifact hypothesis.

@@ -1,0 +1,191 @@
+//! POR soundness property suite: the partial-order-reduced settling
+//! walk must be **observationally identical** to the naive exhaustive
+//! walk wherever the naive walk completes.
+//!
+//! Concretely, for every circuit in the bundled 23-benchmark suite and
+//! the generated muller/arbiter/dme/sequencer families, a CSSG built
+//! with `por: true` must be bit-identical to one built with
+//! `por: false` — same state numbering, same edge lists, same
+//! pruning/truncation counters — serially and for every shard count.
+//! The only permitted difference is the work ledger
+//! ([`Cssg::settle_stats`]): the reduced build explores fewer states.
+//!
+//! This is the empirical half of the persistent-singleton soundness
+//! argument in `crates/sim/DESIGN.md`; the reduction itself re-verifies
+//! its premise at every expanded state, and this suite checks the
+//! conclusion end to end.
+//!
+//! Quick tier: all 23 benchmarks (default config) plus small generated
+//! families, serial and shards 1..=4, and exact-semantics (no ternary
+//! fast path) configurations that force the walker onto every pattern.
+//! Release tier (`#[ignore]`, run by the CI `cssg-shard` job with
+//! `--include-ignored`): the deep Muller pipelines where the naive walk
+//! takes seconds and POR earns its keep.
+
+use satpg::core::{build_cssg, build_cssg_sharded, Cssg, CssgConfig};
+use satpg::netlist::families::{arbiter_tree, muller_pipeline};
+use satpg::netlist::Circuit;
+use satpg::stg::synth::complex_gate;
+use satpg::stg::{families, suite, StateGraph};
+
+fn si_circuit(name: &str) -> Circuit {
+    let stg = suite::load(name).unwrap();
+    let sg = StateGraph::build(&stg).unwrap();
+    complex_gate(&stg, &sg).unwrap()
+}
+
+fn stg_family(kind: &str, size: usize) -> Circuit {
+    let stg = match kind {
+        "dme" => families::dme_ring(size).unwrap(),
+        "seq" => families::sequencer(size).unwrap(),
+        other => panic!("unknown family {other}"),
+    };
+    let sg = StateGraph::build(&stg).unwrap();
+    complex_gate(&stg, &sg).unwrap()
+}
+
+/// Bit identity of everything except the work ledger.
+fn assert_identical(naive: &Cssg, reduced: &Cssg, ctx: &str) {
+    assert_eq!(naive.k(), reduced.k(), "{ctx}: k");
+    assert_eq!(naive.num_inputs(), reduced.num_inputs(), "{ctx}: inputs");
+    assert_eq!(naive.states(), reduced.states(), "{ctx}: state numbering");
+    for s in 0..naive.num_states() {
+        assert_eq!(
+            naive.edges(s),
+            reduced.edges(s),
+            "{ctx}: edge list of state {s}"
+        );
+    }
+    assert_eq!(
+        naive.pruned_nonconfluent(),
+        reduced.pruned_nonconfluent(),
+        "{ctx}: pruned_nonconfluent"
+    );
+    assert_eq!(
+        naive.pruned_unstable(),
+        reduced.pruned_unstable(),
+        "{ctx}: pruned_unstable"
+    );
+    assert_eq!(
+        naive.pruned_truncated(),
+        reduced.pruned_truncated(),
+        "{ctx}: pruned_truncated"
+    );
+}
+
+/// The headline property for one circuit and one base config: the naive
+/// build must complete (no truncation — the identity claim is scoped to
+/// that), and then the POR build must match it bit for bit, serially
+/// and for every shard count 1..=4.
+fn assert_por_identity(ckt: &Circuit, base: &CssgConfig, ctx: &str) {
+    let naive_cfg = CssgConfig {
+        por: false,
+        ..*base
+    };
+    let por_cfg = CssgConfig { por: true, ..*base };
+    let naive = build_cssg(ckt, &naive_cfg).unwrap();
+    assert_eq!(
+        naive.pruned_truncated(),
+        0,
+        "{ctx}: the naive walk must complete for the identity claim to apply \
+         (raise the cap in this test)"
+    );
+    let reduced = build_cssg(ckt, &por_cfg).unwrap();
+    assert_identical(&naive, &reduced, ctx);
+    for shards in 1..=4 {
+        let sharded = build_cssg_sharded(ckt, &por_cfg, shards).unwrap();
+        assert_identical(&naive, &sharded, &format!("{ctx} @ {shards} POR shards"));
+    }
+}
+
+#[test]
+fn por_identity_on_all_bundled_benchmarks() {
+    for &name in suite::NAMES {
+        let ckt = si_circuit(name);
+        assert_por_identity(&ckt, &CssgConfig::default(), name);
+    }
+}
+
+#[test]
+fn por_identity_on_generated_families() {
+    let circuits = [
+        muller_pipeline(8),
+        muller_pipeline(11),
+        arbiter_tree(4),
+        arbiter_tree(6),
+        stg_family("dme", 3),
+        stg_family("seq", 6),
+    ];
+    for ckt in &circuits {
+        assert_por_identity(ckt, &CssgConfig::default(), ckt.name());
+    }
+}
+
+/// The exact k-bounded semantics (no ternary fast path) sends *every*
+/// (state, pattern) pair through the walker, so the reduction is
+/// exercised on confluent waves too — the cases the fast path normally
+/// absorbs.
+#[test]
+fn por_identity_under_exact_semantics() {
+    let exact = CssgConfig {
+        ternary_fast_path: false,
+        ..CssgConfig::default()
+    };
+    for ckt in [
+        muller_pipeline(6),
+        arbiter_tree(4),
+        si_circuit("converta"),
+        si_circuit("dff"),
+        si_circuit("mmu"),
+    ] {
+        assert_por_identity(&ckt, &exact, &format!("{} exact", ckt.name()));
+        // A small k moves the depth boundary into live settles: run
+        // lengths must still be preserved exactly by the reduction.
+        let short = CssgConfig {
+            k: Some(5),
+            ..exact
+        };
+        assert_por_identity(&ckt, &short, &format!("{} exact k=5", ckt.name()));
+    }
+}
+
+/// The reduction actually reduces on wave-heavy workloads (otherwise
+/// this suite would pass vacuously with the rule never firing).
+#[test]
+fn por_actually_fires_on_muller() {
+    let ckt = muller_pipeline(10);
+    let reduced = build_cssg(&ckt, &CssgConfig::default()).unwrap();
+    assert!(
+        reduced.settle_stats().por_pruned > 0,
+        "expected POR to prune on a 10-stage pipeline: {:?}",
+        reduced.settle_stats()
+    );
+    let naive = build_cssg(
+        &ckt,
+        &CssgConfig {
+            por: false,
+            ..CssgConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        reduced.settle_stats().states_explored < naive.settle_stats().states_explored,
+        "reduced {:?} vs naive {:?}",
+        reduced.settle_stats(),
+        naive.settle_stats()
+    );
+}
+
+/// Release tier: the sizes where the naive walk is seconds of wall
+/// clock and the old fixed 2^15 cap used to truncate.  muller-14/16
+/// keep the naive side affordable; the POR side is instant.
+#[test]
+#[ignore = "release-mode tier: the naive reference walks are seconds of wall clock"]
+fn por_identity_on_deep_muller_pipelines() {
+    for size in [14usize, 16] {
+        let ckt = muller_pipeline(size);
+        assert_por_identity(&ckt, &CssgConfig::default(), &format!("muller_pipe{size}"));
+    }
+    let ckt = arbiter_tree(7);
+    assert_por_identity(&ckt, &CssgConfig::default(), "arbiter7");
+}
