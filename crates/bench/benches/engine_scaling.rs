@@ -10,7 +10,10 @@
 //! Random TPG is disabled so every fault class reaches the parallel
 //! targeted phase — the component whose scaling is under test.
 
-use satpg_core::{build_cssg, build_cssg_sharded, AtpgConfig, CapPolicy, CssgConfig};
+use satpg_core::{
+    build_cssg, build_cssg_sharded, faults_for, random_tpg, AtpgConfig, CapPolicy, CssgConfig,
+    FaultModel, RandomTpgConfig,
+};
 use satpg_engine::{run_engine, EngineConfig};
 use satpg_netlist::{families as nf, Circuit};
 use satpg_stg::synth::complex_gate;
@@ -174,6 +177,49 @@ fn measure_settler(size: usize, por: bool, reps: u32) -> (u128, String) {
     (best, json)
 }
 
+/// Random-stage probe: the classic fault-per-lane layout (one pattern
+/// against 63 faults) vs the pattern-per-bit layout (64 patterns per
+/// settling pass against one broadcast fault).  The JSON line carries
+/// the stage's own telemetry — `patterns_evaluated / passes` is the
+/// measured per-pass pattern parallelism (64 in pattern-per-bit mode).
+fn measure_random(label: &str, ckt: &Circuit, pattern_parallel: bool, reps: u32) -> (u128, String) {
+    let cssg = build_cssg(ckt, &CssgConfig::default()).expect("CSSG builds");
+    let faults = faults_for(ckt, FaultModel::InputStuckAt);
+    let cfg = RandomTpgConfig {
+        pattern_parallel,
+        ..RandomTpgConfig::default()
+    };
+    let mut best = u128::MAX;
+    let mut last = None;
+    for _ in 0..=reps {
+        let t = Instant::now();
+        let res = random_tpg(ckt, &cssg, &faults, &cfg);
+        let us = t.elapsed().as_micros();
+        if last.is_some() {
+            best = best.min(us);
+        }
+        last = Some(res);
+    }
+    let res = last.expect("ran at least once");
+    let stats = res.stats();
+    let covered = res.detected.len();
+    let json = format!(
+        "{{\"bench\":\"random_stage\",\"workload\":\"{label}\",\"mode\":\"{}\",\
+         \"best_us\":{best},\"faults\":{},\"covered\":{covered},\
+         \"passes\":{},\"patterns_evaluated\":{},\"patterns_per_pass\":{:.1}}}",
+        if pattern_parallel {
+            "ppsfp"
+        } else {
+            "fault_per_lane"
+        },
+        faults.len(),
+        stats.passes,
+        stats.patterns_evaluated,
+        stats.patterns_evaluated as f64 / stats.passes.max(1) as f64,
+    );
+    (best, json)
+}
+
 fn main() {
     let workloads: Vec<(&str, Circuit)> = vec![
         ("dme_ring5", dme_circuit(5)),
@@ -206,6 +252,24 @@ fn main() {
         }
         first = false;
         let _ = write!(trajectory, "  {json}");
+    }
+
+    // Random-stage pattern parallelism: fault-per-lane vs
+    // pattern-per-bit on each engine workload.
+    for (label, ckt) in &workloads {
+        for pp in [false, true] {
+            let (best, json) = measure_random(label, ckt, pp, 2);
+            println!(
+                "bench random_stage/{label}/{} {best:>10} us",
+                if pp { "ppsfp " } else { "lanes " }
+            );
+            println!("{json}");
+            if !first {
+                trajectory.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(trajectory, "  {json}");
+        }
     }
 
     // CSSG construction scaling on the build-bound workload.

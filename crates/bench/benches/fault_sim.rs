@@ -10,9 +10,7 @@ fn bench_fsim(c: &mut Criterion) {
     let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
     let faults = input_stuck_faults(&ckt);
     // A full handshake walk as the screening sequence.
-    let seq = TestSequence {
-        patterns: vec![0b01, 0b11, 0b10, 0b00],
-    };
+    let seq = TestSequence::from_u64(ckt.num_inputs(), &[0b01, 0b11, 0b10, 0b00]);
     let mut g = c.benchmark_group("fault_sim");
     g.sample_size(30);
     g.throughput(Throughput::Elements(faults.len() as u64));

@@ -21,15 +21,21 @@ fn main() {
         );
     }
     let cfg = ExplicitConfig::for_circuit(&ckt);
-    for pattern in 0..(1u64 << ckt.num_inputs()) {
-        let r = settle_explicit(&ckt, ckt.initial_state(), pattern, &Injection::none(), &cfg);
+    for pattern in satpg_netlist::Pattern::all(ckt.num_inputs()) {
+        let r = settle_explicit(
+            &ckt,
+            ckt.initial_state(),
+            &pattern,
+            &Injection::none(),
+            &cfg,
+        );
         let label = match &r {
             Settle::Confluent(_) => "confluent".to_string(),
             Settle::NonConfluent(v) => format!("NONCONFLUENT ({})", v.len()),
             Settle::Unstable(v) => format!("UNSTABLE ({})", v.len()),
             Settle::Truncated => "OVERFLOW".to_string(),
         };
-        println!("  reset + pattern {pattern:02b}: {label}");
+        println!("  reset + pattern {pattern}: {label}");
     }
     match build_cssg(&ckt, &CssgConfig::default()) {
         Ok(c) => println!("CSSG: {} states {} edges", c.num_states(), c.num_edges()),

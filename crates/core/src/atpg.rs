@@ -114,6 +114,20 @@ pub struct AtpgReport {
     /// Successor branches the partial-order reduction pruned during CSSG
     /// construction — the "states saved" side of the POR ledger.
     pub cssg_por_pruned: u64,
+    /// (state, pattern) pairs never analyzed because the construction's
+    /// pattern budget ran out ([`Cssg::patterns_skipped`]): zero for
+    /// exhaustive builds; when non-zero the CSSG under-approximates and
+    /// "untestable" verdicts may be budget artifacts.
+    pub cssg_patterns_skipped: u64,
+    /// Bit-parallel fixpoint passes run by the random stage.
+    pub random_passes: usize,
+    /// Pattern evaluations performed by the random stage;
+    /// `random_patterns / random_passes` is the measured
+    /// patterns-per-pass throughput of the lane machinery (64 in
+    /// pattern-per-bit mode).
+    pub random_patterns: u64,
+    /// Test vectors the random stage applied.
+    pub random_vectors: usize,
     /// Per-fault verdicts, in enumeration order.
     pub records: Vec<FaultRecord>,
     /// The deduplicated test set.

@@ -1,6 +1,6 @@
 //! The Confluent Stable State Graph: the synchronous FSM abstraction.
 
-use satpg_netlist::{Bits, Circuit};
+use satpg_netlist::{Bits, Circuit, IntoPattern, Pattern};
 use satpg_sim::SettleStats;
 use std::collections::HashMap;
 
@@ -10,10 +10,22 @@ use std::collections::HashMap;
 pub struct TestSequence {
     /// The input patterns, in application order (bit `i` drives primary
     /// input `i`).
-    pub patterns: Vec<u64>,
+    pub patterns: Vec<Pattern>,
 }
 
 impl TestSequence {
+    /// Builds a sequence of `num_inputs`-bit patterns from plain words
+    /// (the pre-multi-word construction shape, kept for tests and small
+    /// circuits).
+    pub fn from_u64(num_inputs: usize, patterns: &[u64]) -> Self {
+        TestSequence {
+            patterns: patterns
+                .iter()
+                .map(|&p| Pattern::from_u64(num_inputs, p))
+                .collect(),
+        }
+    }
+
     /// The number of test cycles.
     pub fn len(&self) -> usize {
         self.patterns.len()
@@ -39,7 +51,7 @@ pub struct Cssg {
     states: Vec<Bits>,
     index: HashMap<Bits, usize>,
     /// Per state: `(pattern, successor)`, sorted by pattern.
-    edges: Vec<Vec<(u64, usize)>>,
+    edges: Vec<Vec<(Pattern, usize)>>,
     /// Number of (state, pattern) pairs pruned for non-confluence.
     pruned_nonconfluent: usize,
     /// Number pruned for oscillation / settling past `k`.
@@ -51,6 +63,12 @@ pub struct Cssg {
     /// A non-zero count means "untestable" verdicts downstream may be
     /// truncation artifacts, not real redundancy.
     pruned_truncated: usize,
+    /// Number of (state, pattern) pairs never *tried* because the
+    /// per-state pattern budget ran out (only possible when
+    /// `CssgConfig::pattern_budget` caps enumeration).  Saturating.
+    /// A non-zero count means the graph under-approximates the true
+    /// CSSG: downstream "untestable" verdicts may be budget artifacts.
+    patterns_skipped: u64,
     /// Aggregated settling-engine counters of the construction: state
     /// expansions performed, and how much the partial-order reduction
     /// saved.  Diagnostics only — excluded from bit-identity comparisons
@@ -69,6 +87,7 @@ impl Cssg {
             pruned_nonconfluent: 0,
             pruned_unstable: 0,
             pruned_truncated: 0,
+            patterns_skipped: 0,
             settle_stats: SettleStats::default(),
         }
     }
@@ -86,8 +105,9 @@ impl Cssg {
         }
     }
 
-    pub(crate) fn add_edge(&mut self, from: usize, pattern: u64, to: usize) {
-        self.edges[from].push((pattern, to));
+    pub(crate) fn add_edge(&mut self, from: usize, pattern: impl IntoPattern, to: usize) {
+        let p = pattern.into_pattern(self.num_inputs);
+        self.edges[from].push((p, to));
     }
 
     pub(crate) fn sort_edges(&mut self) {
@@ -121,6 +141,10 @@ impl Cssg {
         self.pruned_truncated += n;
     }
 
+    pub(crate) fn note_patterns_skipped(&mut self, n: u64) {
+        self.patterns_skipped = self.patterns_skipped.saturating_add(n);
+    }
+
     pub(crate) fn note_settle_stats(&mut self, stats: &SettleStats) {
         self.settle_stats.absorb(stats);
     }
@@ -151,7 +175,7 @@ impl Cssg {
     }
 
     /// Outgoing edges of state `i`, sorted by pattern.
-    pub fn edges(&self, i: usize) -> &[(u64, usize)] {
+    pub fn edges(&self, i: usize) -> &[(Pattern, usize)] {
         &self.edges[i]
     }
 
@@ -162,9 +186,10 @@ impl Cssg {
 
     /// The successor of state `i` under `pattern`, if the pattern is
     /// valid there.
-    pub fn successor(&self, i: usize, pattern: u64) -> Option<usize> {
+    pub fn successor(&self, i: usize, pattern: impl IntoPattern) -> Option<usize> {
+        let pattern = pattern.into_pattern(self.num_inputs);
         self.edges[i]
-            .binary_search_by_key(&pattern, |&(p, _)| p)
+            .binary_search_by(|(p, _)| p.cmp(&pattern))
             .ok()
             .map(|pos| self.edges[i][pos].1)
     }
@@ -192,6 +217,13 @@ impl Cssg {
         self.pruned_truncated
     }
 
+    /// How many (state, pattern) pairs were never analyzed because the
+    /// construction's pattern budget ran out (saturating; zero for
+    /// exhaustive builds).
+    pub fn patterns_skipped(&self) -> u64 {
+        self.patterns_skipped
+    }
+
     /// Settling-engine counters of the construction: how many state
     /// expansions the interleaving analyses performed, how many
     /// expansions the partial-order reduction collapsed
@@ -212,7 +244,7 @@ impl Cssg {
     pub fn replay(&self, seq: &TestSequence) -> Option<Vec<usize>> {
         let mut cur = self.initial();
         let mut out = Vec::with_capacity(seq.len());
-        for &p in &seq.patterns {
+        for p in &seq.patterns {
             cur = self.successor(cur, p)?;
             out.push(cur);
         }
@@ -221,26 +253,27 @@ impl Cssg {
 
     /// The shortest pattern sequence from `from` to any state in `goals`,
     /// by breadth-first search (the *state justification* primitive).
-    pub fn justify(&self, from: usize, goals: &[bool]) -> Option<Vec<u64>> {
+    pub fn justify(&self, from: usize, goals: &[bool]) -> Option<Vec<Pattern>> {
         if goals[from] {
             return Some(Vec::new());
         }
-        let mut prev: Vec<Option<(usize, u64)>> = vec![None; self.states.len()];
+        let mut prev: Vec<Option<(usize, Pattern)>> = vec![None; self.states.len()];
         let mut seen = vec![false; self.states.len()];
         seen[from] = true;
         let mut queue = std::collections::VecDeque::from([from]);
         while let Some(s) = queue.pop_front() {
-            for &(p, t) in &self.edges[s] {
+            for (p, t) in &self.edges[s] {
+                let t = *t;
                 if !seen[t] {
                     seen[t] = true;
-                    prev[t] = Some((s, p));
+                    prev[t] = Some((s, p.clone()));
                     if goals[t] {
                         // Reconstruct.
                         let mut path = Vec::new();
                         let mut cur = t;
-                        while let Some((ps, pp)) = prev[cur] {
-                            path.push(pp);
-                            cur = ps;
+                        while let Some((ps, pp)) = &prev[cur] {
+                            path.push(pp.clone());
+                            cur = *ps;
                         }
                         path.reverse();
                         return Some(path);
@@ -295,11 +328,9 @@ mod tests {
     #[test]
     fn replay_follows_edges() {
         let g = tiny();
-        let seq = TestSequence {
-            patterns: vec![1, 0, 3],
-        };
+        let seq = TestSequence::from_u64(2, &[1, 0, 3]);
         assert_eq!(g.replay(&seq), Some(vec![1, 2, 0]));
-        let bad = TestSequence { patterns: vec![2] };
+        let bad = TestSequence::from_u64(2, &[2]);
         assert_eq!(g.replay(&bad), None);
     }
 
@@ -308,10 +339,10 @@ mod tests {
         let g = tiny();
         let mut goals = vec![false; 3];
         goals[2] = true;
-        assert_eq!(g.justify(0, &goals), Some(vec![1, 0]));
+        assert_eq!(g.justify(0, &goals).unwrap(), vec![1u64, 0]);
         goals[2] = false;
         goals[0] = true;
-        assert_eq!(g.justify(0, &goals), Some(vec![]));
+        assert_eq!(g.justify(0, &goals), Some(Vec::new()));
         let unreachable = vec![false; 3];
         assert_eq!(g.justify(0, &unreachable), None);
     }

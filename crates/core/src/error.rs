@@ -11,8 +11,10 @@ pub enum CoreError {
     NoStableReset,
     /// The CSSG grew past the configured state budget.
     CssgOverflow(usize),
-    /// The circuit has more primary inputs than packed patterns support.
-    TooManyInputs(usize),
+    /// The circuit has too many primary inputs to enumerate exhaustively
+    /// (2^n patterns per state): CSSG construction needs an explicit
+    /// pattern budget past 63 inputs.
+    PatternBudgetRequired(usize),
     /// The circuit has more primary outputs than packed values support.
     TooManyOutputs(usize),
     /// The circuit has too many state bits for the symbolic encoding.
@@ -29,8 +31,12 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::NoStableReset => write!(f, "circuit has no stable reset state"),
             CoreError::CssgOverflow(n) => write!(f, "CSSG exceeded {n} stable states"),
-            CoreError::TooManyInputs(n) => {
-                write!(f, "circuit has {n} primary inputs; at most 63 supported")
+            CoreError::PatternBudgetRequired(n) => {
+                write!(
+                    f,
+                    "circuit has {n} primary inputs; exhaustive pattern \
+                     enumeration stops at 63 — set a pattern budget"
+                )
             }
             CoreError::TooManyOutputs(n) => {
                 write!(f, "circuit has {n} primary outputs; at most 64 supported")

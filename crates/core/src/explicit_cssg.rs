@@ -11,7 +11,7 @@
 use crate::cssg::Cssg;
 use crate::error::CoreError;
 use crate::Result;
-use satpg_netlist::{Bits, Circuit};
+use satpg_netlist::{pattern_count, Bits, Circuit, Pattern};
 use satpg_sim::{CapPolicy, Injection, Settle, SettleStats, Settler, SettlerConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
@@ -40,6 +40,16 @@ pub struct CssgConfig {
     pub settle_threads: usize,
     /// Accept ternary-definite settles without the exhaustive analysis.
     pub ternary_fast_path: bool,
+    /// Cap on the number of input patterns *tried* per stable state
+    /// (ascending pattern order; the state's own pattern never counts).
+    /// `None` enumerates all `2^inputs − 1` candidates — exhaustive, the
+    /// historical behaviour, and mandatory below 64 inputs to keep every
+    /// existing graph bit-identical.  Past 63 inputs exhaustive
+    /// enumeration is impossible and a budget is required
+    /// ([`CoreError::PatternBudgetRequired`]); candidates beyond the
+    /// budget are counted in [`Cssg::patterns_skipped`], never silently
+    /// dropped.
+    pub pattern_budget: Option<u64>,
 }
 
 impl Default for CssgConfig {
@@ -51,6 +61,7 @@ impl Default for CssgConfig {
             por: true,
             settle_threads: 1,
             ternary_fast_path: true,
+            pattern_budget: None,
         }
     }
 }
@@ -70,9 +81,9 @@ impl CssgConfig {
 
 /// The shared precondition prologue of both builders: a divergence here
 /// would let one entry point accept circuits the other rejects.
-fn validate(ckt: &Circuit) -> Result<()> {
-    if ckt.num_inputs() > 63 {
-        return Err(CoreError::TooManyInputs(ckt.num_inputs()));
+fn validate(ckt: &Circuit, cfg: &CssgConfig) -> Result<()> {
+    if ckt.num_inputs() > 63 && cfg.pattern_budget.is_none() {
+        return Err(CoreError::PatternBudgetRequired(ckt.num_inputs()));
     }
     if ckt.outputs().len() > 64 {
         return Err(CoreError::TooManyOutputs(ckt.outputs().len()));
@@ -81,6 +92,16 @@ fn validate(ckt: &Circuit) -> Result<()> {
         return Err(CoreError::NoStableReset);
     }
     Ok(())
+}
+
+/// How many candidate patterns the budget leaves untried per state —
+/// a pure function of (inputs, budget), so the serial and sharded
+/// builders account identically.  Saturating: past 63 inputs the true
+/// candidate count does not fit a word.
+fn skipped_per_state(num_inputs: usize, budget: Option<u64>) -> u64 {
+    let Some(budget) = budget else { return 0 };
+    let candidates = pattern_count(num_inputs).map(|t| t - 1).unwrap_or(u64::MAX);
+    candidates.saturating_sub(budget)
 }
 
 /// Builds the CSSG of `ckt` from its reset state by forward exploration:
@@ -94,24 +115,30 @@ fn validate(ckt: &Circuit) -> Result<()> {
 /// # Errors
 ///
 /// [`CoreError::NoStableReset`] if the reset state is unstable,
-/// [`CoreError::TooManyInputs`] for more than 63 inputs, or
-/// [`CoreError::CssgOverflow`] when the state budget is exceeded.
+/// [`CoreError::PatternBudgetRequired`] for more than 63 inputs without
+/// a pattern budget, or [`CoreError::CssgOverflow`] when the state
+/// budget is exceeded.
 pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
-    validate(ckt)?;
+    validate(ckt, cfg)?;
     let scfg = cfg.settler(ckt);
     let mut settler = Settler::new(ckt, &Injection::none(), &scfg);
     let mut cssg = Cssg::new(ckt.num_inputs(), scfg.k);
     let root = cssg.intern(ckt.initial_state().clone());
     let mut work = vec![root];
-    let npatterns = 1u64 << ckt.num_inputs();
+    let budget = cfg.pattern_budget.unwrap_or(u64::MAX);
     while let Some(si) = work.pop() {
         let state = cssg.states()[si].clone();
         let current = ckt.input_pattern(&state);
-        for pattern in 0..npatterns {
+        let mut tried = 0u64;
+        for pattern in Pattern::all(ckt.num_inputs()) {
+            if tried >= budget {
+                break;
+            }
             if pattern == current {
                 continue;
             }
-            match settler.settle(&state, pattern) {
+            tried += 1;
+            match settler.settle(&state, &pattern) {
                 Settle::Confluent(next) => {
                     let known = cssg.state_index(&next).is_some();
                     let ni = cssg.intern(next);
@@ -132,6 +159,8 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
         }
     }
     cssg.note_settle_stats(settler.stats());
+    let skip = skipped_per_state(ckt.num_inputs(), cfg.pattern_budget);
+    cssg.note_patterns_skipped(skip.saturating_mul(cssg.num_states() as u64));
     cssg.sort_edges();
     Ok(cssg)
 }
@@ -147,18 +176,30 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
 struct Explore {
     index: HashMap<Bits, u32>,
     states: Vec<Bits>,
-    /// Per queued state: `(id, next pattern to hand out, the state's
-    /// own pattern)`.  Patterns are dealt lazily from this cursor — a
-    /// wide-input circuit has `2^inputs` of them per state, so
-    /// materializing the pairs (as the first cut of this code did)
-    /// would hold the lock for an exponential push burst where the
+    /// Per queued state: a lazy pattern cursor.  Patterns are dealt one
+    /// at a time — a wide-input circuit has `2^inputs` of them per
+    /// state, so materializing the pairs (as the first cut of this code
+    /// did) would hold the lock for an exponential push burst where the
     /// serial builder loops in O(1) memory.
-    queue: VecDeque<(u32, u64, u64)>,
+    queue: VecDeque<Cursor>,
     /// Workers currently mid-analysis (their successors are not queued
     /// yet, so an empty queue alone does not mean done).
     active: usize,
     /// Set on state-budget overflow; everyone drains and exits.
     overflow: bool,
+}
+
+/// A state's pattern cursor: deals candidates in ascending order, the
+/// exact enumeration the serial builder walks.
+struct Cursor {
+    id: u32,
+    /// Next pattern to hand out; `None` once the enumeration wrapped.
+    next: Option<Pattern>,
+    /// The state's own pattern — skipped without consuming budget (the
+    /// paper's `R_I` requires an input change).
+    own: Pattern,
+    /// Candidates dealt so far, against the per-state pattern budget.
+    dealt: u64,
 }
 
 impl Explore {
@@ -177,26 +218,38 @@ impl Explore {
             self.overflow = true;
             return None;
         }
-        self.queue.push_back((i, 0, current));
+        self.queue.push_back(Cursor {
+            id: i,
+            next: Some(Pattern::zeros(ckt.num_inputs())),
+            own: current,
+            dealt: 0,
+        });
         Some(i)
     }
 
     /// Deals the next `(state, pattern)` pair, skipping each state's
-    /// own pattern (the paper's `R_I` requires an input change) and
-    /// retiring exhausted cursors.
-    fn next_pair(&mut self, npatterns: u64) -> Option<(u32, u64)> {
+    /// own pattern and retiring cursors that are exhausted or out of
+    /// budget.
+    fn next_pair(&mut self, budget: u64) -> Option<(u32, Pattern)> {
         loop {
-            let &mut (si, ref mut next, current) = self.queue.front_mut()?;
-            if *next == current {
-                *next += 1;
-            }
-            if *next >= npatterns {
+            let cur = self.queue.front_mut()?;
+            if cur.dealt >= budget {
                 self.queue.pop_front();
                 continue;
             }
-            let pattern = *next;
-            *next += 1;
-            return Some((si, pattern));
+            let Some(pattern) = cur.next.take() else {
+                self.queue.pop_front();
+                continue;
+            };
+            let mut succ = pattern.clone();
+            if succ.increment() {
+                cur.next = Some(succ);
+            }
+            if pattern == cur.own {
+                continue;
+            }
+            cur.dealt += 1;
+            return Some((cur.id, pattern));
         }
     }
 }
@@ -205,7 +258,7 @@ impl Explore {
 #[derive(Default)]
 struct ShardResult {
     /// `(from, pattern, to)` over exploration-order state ids.
-    edges: Vec<(u32, u64, u32)>,
+    edges: Vec<(u32, Pattern, u32)>,
     nonconfluent: usize,
     unstable: usize,
     truncated: usize,
@@ -236,7 +289,7 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
     if shards <= 1 {
         return build_cssg(ckt, cfg);
     }
-    validate(ckt)?;
+    validate(ckt, cfg)?;
     let scfg = cfg.settler(ckt);
     let mut explore = Explore {
         index: HashMap::new(),
@@ -263,7 +316,7 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
     if explore.overflow {
         return Err(CoreError::CssgOverflow(cfg.max_states));
     }
-    merge_shards(ckt, &scfg, explore, &results)
+    merge_shards(ckt, &scfg, cfg, explore, &results)
 }
 
 /// One shard's loop: pop a `(state, pattern)` pair, run its k-bounded
@@ -279,7 +332,7 @@ fn shard_loop(
     // tracking (and the POR bookkeeping) is thread-private, so the
     // expensive analyses never contend on the exploration lock.
     let mut settler = Settler::new(ckt, &Injection::none(), scfg);
-    let npatterns = 1u64 << ckt.num_inputs();
+    let budget = cfg.pattern_budget.unwrap_or(u64::MAX);
     let mut local = ShardResult::default();
     // A worker usually deals consecutive patterns of the same state (a
     // cursor drains front-of-queue), so cache the last state and clone
@@ -295,7 +348,7 @@ fn shard_loop(
                     local.settle = settler.take_stats();
                     return local;
                 }
-                if let Some((si, pattern)) = ex.next_pair(npatterns) {
+                if let Some((si, pattern)) = ex.next_pair(budget) {
                     ex.active += 1;
                     if cached.as_ref().map(|c| c.0) != Some(si) {
                         cached = Some((si, ex.states[si as usize].clone()));
@@ -314,7 +367,7 @@ fn shard_loop(
 
         // The expensive part — the settling analysis, with this thread's
         // private interleaving-set tracking — runs unlocked.
-        let verdict = settler.settle(state, pattern);
+        let verdict = settler.settle(state, &pattern);
 
         let mut ex = shared.lock().expect("exploration lock");
         match verdict {
@@ -353,14 +406,15 @@ fn shard_loop(
 fn merge_shards(
     ckt: &Circuit,
     scfg: &SettlerConfig,
+    cfg: &CssgConfig,
     explore: Explore,
     results: &[ShardResult],
 ) -> Result<Cssg> {
     let n = explore.states.len();
-    let mut edges_of: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+    let mut edges_of: Vec<Vec<(Pattern, u32)>> = vec![Vec::new(); n];
     for r in results {
-        for &(from, pattern, to) in &r.edges {
-            edges_of[from as usize].push((pattern, to));
+        for (from, pattern, to) in &r.edges {
+            edges_of[*from as usize].push((pattern.clone(), *to));
         }
     }
     // Each state is analysed by exactly one worker, which pushes its
@@ -379,7 +433,8 @@ fn merge_shards(
     order.push(0);
     let mut stack = vec![0u32];
     while let Some(o) = stack.pop() {
-        for &(_, t) in &edges_of[o as usize] {
+        for (_, t) in &edges_of[o as usize] {
+            let t = *t;
             if new_of[t as usize] == unassigned {
                 new_of[t as usize] = order.len() as u32;
                 order.push(t);
@@ -395,8 +450,8 @@ fn merge_shards(
     }
     for (old, edges) in edges_of.iter().enumerate() {
         let from = new_of[old] as usize;
-        for &(pattern, to) in edges {
-            cssg.add_edge(from, pattern, new_of[to as usize] as usize);
+        for (pattern, to) in edges {
+            cssg.add_edge(from, pattern, new_of[*to as usize] as usize);
         }
     }
     for r in results {
@@ -405,6 +460,8 @@ fn merge_shards(
         cssg.note_truncated_n(r.truncated);
         cssg.note_settle_stats(&r.settle);
     }
+    let skip = skipped_per_state(ckt.num_inputs(), cfg.pattern_budget);
+    cssg.note_patterns_skipped(skip.saturating_mul(cssg.num_states() as u64));
     cssg.sort_edges();
     Ok(cssg)
 }
@@ -460,10 +517,10 @@ mod tests {
             let g = build_cssg(&ckt, &CssgConfig::default()).unwrap();
             for s in 0..g.num_states() {
                 assert!(ckt.is_stable(&g.states()[s]), "{}: state {s}", ckt.name());
-                for &(p, t) in g.edges(s) {
-                    assert!(t < g.num_states());
+                for (p, t) in g.edges(s) {
+                    assert!(*t < g.num_states());
                     assert_eq!(
-                        ckt.input_pattern(&g.states()[t]),
+                        &ckt.input_pattern(&g.states()[*t]),
                         p,
                         "{}: successor holds the applied pattern",
                         ckt.name()
@@ -522,6 +579,11 @@ mod tests {
             a.pruned_truncated(),
             b.pruned_truncated(),
             "{ctx}: truncated"
+        );
+        assert_eq!(
+            a.patterns_skipped(),
+            b.patterns_skipped(),
+            "{ctx}: patterns skipped"
         );
         // Work counters too: every pair is analysed exactly once by a
         // deterministic engine, so even the POR ledger matches.

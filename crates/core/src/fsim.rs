@@ -56,7 +56,7 @@ pub(crate) fn replay_batch(
     let mut detected = vec![false; lanes];
     let mut good = cssg.initial();
     detect_lanes(ckt, &planes, &cssg.states()[good], lanes, &mut detected);
-    for &p in &seq.patterns {
+    for p in &seq.patterns {
         good = cssg.successor(good, p)?;
         planes = parallel_settle(ckt, &planes, p, &pinj);
         detect_lanes(ckt, &planes, &cssg.states()[good], lanes, &mut detected);
@@ -113,9 +113,7 @@ mod tests {
             site: Site::Output,
             stuck: false,
         };
-        let seq = TestSequence {
-            patterns: vec![0b11],
-        };
+        let seq = TestSequence::from_u64(2, &[0b11]);
         let hit = fault_simulate(&ckt, &cssg, &seq, &[fault]);
         assert_eq!(hit, vec![0], "y/SA0 caught by raising both inputs");
     }
@@ -130,9 +128,8 @@ mod tests {
             site: Site::Output,
             stuck: false, // y is 0 at reset; a 0-keeping pattern won't show it
         };
-        let seq = TestSequence {
-            patterns: vec![0b10], // only B rises: y stays 0 in good machine
-        };
+        // Only B rises: y stays 0 in the good machine.
+        let seq = TestSequence::from_u64(2, &[0b10]);
         let hit = fault_simulate(&ckt, &cssg, &seq, &[fault]);
         assert!(hit.is_empty());
     }
@@ -141,9 +138,8 @@ mod tests {
     fn invalid_sequence_is_rejected() {
         let ckt = library::figure1b();
         let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
-        let seq = TestSequence {
-            patterns: vec![0b01], // oscillates: not a CSSG edge
-        };
+        // Oscillates: not a CSSG edge.
+        let seq = TestSequence::from_u64(2, &[0b01]);
         assert!(replay_batch(&ckt, &cssg, &seq, &[]).is_none());
     }
 
@@ -158,9 +154,7 @@ mod tests {
             faults.extend(base.iter().copied());
         }
         assert!(faults.len() > 63);
-        let seq = TestSequence {
-            patterns: vec![0b01, 0b11, 0b10, 0b00],
-        };
+        let seq = TestSequence::from_u64(2, &[0b01, 0b11, 0b10, 0b00]);
         let hit = fault_simulate(&ckt, &cssg, &seq, &faults);
         // Any fault detected in the first copy must be detected in all
         // copies at shifted indices.

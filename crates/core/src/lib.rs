@@ -50,7 +50,7 @@ pub use explicit_cssg::{build_cssg, build_cssg_sharded, CssgConfig};
 pub use fault::{collapse_faults, input_stuck_faults, output_stuck_faults, Fault, FaultClass};
 pub use fsim::fault_simulate;
 pub use oracle::{validate_test, Verdict};
-pub use random_tpg::{random_tpg, RandomTpgConfig, RandomTpgResult};
+pub use random_tpg::{random_tpg, RandomStats, RandomTpgConfig, RandomTpgResult};
 pub use scan::{scan_candidates, ScanAnalysis, ScanCandidate};
 pub use three_phase::{three_phase, three_phase_traced, FaultStatus, ThreePhaseConfig};
 

@@ -63,7 +63,7 @@ pub fn validate_test(ckt: &Circuit, fault: &Fault, seq: &TestSequence, k: usize)
     if mismatch(&good, &fset) {
         return Verdict::Detects { at: 0 };
     }
-    for (i, &p) in seq.patterns.iter().enumerate() {
+    for (i, p) in seq.patterns.iter().enumerate() {
         let gset = match clean.settle_set(&BTreeSet::from([good.clone()]), p).ok() {
             Some(s) => s,
             None => return Verdict::Overflow,
@@ -103,9 +103,7 @@ mod tests {
             site: Site::Output,
             stuck: false,
         };
-        let seq = TestSequence {
-            patterns: vec![0b11],
-        };
+        let seq = TestSequence::from_u64(2, &[0b11]);
         let k = 4 * ckt.num_gates() + 4;
         assert_eq!(
             validate_test(&ckt, &fault, &seq, k),
@@ -122,9 +120,8 @@ mod tests {
             site: Site::Output,
             stuck: false,
         };
-        let seq = TestSequence {
-            patterns: vec![0b01], // only A: y stays 0 in both machines
-        };
+        // Only A: y stays 0 in both machines.
+        let seq = TestSequence::from_u64(2, &[0b01]);
         let k = 4 * ckt.num_gates() + 4;
         assert_eq!(validate_test(&ckt, &fault, &seq, k), Verdict::Inconclusive);
     }
@@ -138,9 +135,8 @@ mod tests {
             site: Site::Output,
             stuck: true,
         };
-        let seq = TestSequence {
-            patterns: vec![0b01], // oscillates on the good machine
-        };
+        // Oscillates on the good machine.
+        let seq = TestSequence::from_u64(2, &[0b01]);
         assert_eq!(
             validate_test(&ckt, &fault, &seq, 4 * ckt.num_gates() + 4),
             Verdict::GoodInvalid

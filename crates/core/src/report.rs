@@ -4,6 +4,17 @@
 
 use crate::atpg::{AtpgReport, Phase};
 use crate::json::Json;
+use satpg_netlist::Pattern;
+
+/// A pattern as JSON: a plain integer while it fits losslessly in a JSON
+/// number (< 2^53), else its bit-0-first bitstring.  Both forms are pure
+/// functions of the pattern, keeping wide-circuit reports byte-stable.
+fn pattern_json(p: &Pattern) -> Json {
+    match p.as_u64() {
+        Some(v) if v < (1u64 << 53) => Json::int(v),
+        _ => Json::str(p.to_string()),
+    }
+}
 
 impl Phase {
     /// Stable wire-format name of the phase.
@@ -48,7 +59,7 @@ impl AtpgReport {
         let tests: Vec<Json> = self
             .tests
             .iter()
-            .map(|t| Json::Arr(t.patterns.iter().map(|&p| Json::int(p)).collect()))
+            .map(|t| Json::Arr(t.patterns.iter().map(pattern_json).collect()))
             .collect();
         let mut out = vec![
             ("circuit".to_string(), Json::str(&self.circuit)),
@@ -71,6 +82,21 @@ impl AtpgReport {
                         Json::int(self.cssg_settle_states),
                     ),
                     ("por_pruned".to_string(), Json::int(self.cssg_por_pruned)),
+                    (
+                        "patterns_skipped".to_string(),
+                        Json::int(self.cssg_patterns_skipped),
+                    ),
+                ]),
+            ),
+            (
+                "random_stage".to_string(),
+                Json::Obj(vec![
+                    ("passes".to_string(), Json::int(self.random_passes)),
+                    (
+                        "patterns_evaluated".to_string(),
+                        Json::int(self.random_patterns),
+                    ),
+                    ("vectors".to_string(), Json::int(self.random_vectors)),
                 ]),
             ),
             (

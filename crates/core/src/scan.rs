@@ -97,7 +97,7 @@ fn exposing_signals(
         if depth >= cfg.max_depth || visited.len() >= cfg.max_nodes {
             continue;
         }
-        let edges: Vec<(u64, usize)> = cssg.edges(good).to_vec();
+        let edges: Vec<(satpg_netlist::Pattern, usize)> = cssg.edges(good).to_vec();
         for (pattern, gsucc) in edges {
             let Some(fsucc) = settler.settle_set(&fset, pattern).ok() else {
                 continue;

@@ -23,7 +23,7 @@ use crate::atpg::{AtpgReport, Phase};
 use crate::cssg::{Cssg, TestSequence};
 use crate::fault::{collapse_faults, Fault, FaultClass};
 use crate::fsim::fault_simulate;
-use crate::random_tpg::{random_tpg, RandomTpgConfig};
+use crate::random_tpg::{random_tpg, RandomStats, RandomTpgConfig};
 use crate::three_phase::FaultStatus;
 use satpg_netlist::Circuit;
 use std::collections::HashMap;
@@ -111,6 +111,11 @@ pub struct StageState {
     pub verdicts: Vec<ClassVerdict>,
     /// The deduplicated test set, in discovery order.
     pub tests: Vec<TestSequence>,
+    /// Lane-throughput counters of the random stage (zeros when the
+    /// stage was skipped).  Deterministic given the stage config, so
+    /// serial and parallel drivers that run the same random stage report
+    /// identical numbers.
+    pub random: RandomStats,
 }
 
 impl StageState {
@@ -119,6 +124,7 @@ impl StageState {
         StageState {
             verdicts: vec![ClassVerdict::Open; num_classes],
             tests: Vec::new(),
+            random: RandomStats::default(),
         }
     }
 
@@ -152,6 +158,7 @@ pub fn random_stage(
 ) {
     let reps: Vec<Fault> = plan.classes.iter().map(|c| c.representative).collect();
     let res = random_tpg(ckt, cssg, &reps, cfg);
+    state.random = res.stats();
     for (ci, seq) in res.detected {
         if state.verdicts[ci] == ClassVerdict::Open {
             let ti = state.intern_test(seq);
@@ -280,6 +287,10 @@ pub fn assemble_report(
         cssg_truncated: cssg.pruned_truncated(),
         cssg_settle_states: cssg.settle_stats().states_explored,
         cssg_por_pruned: cssg.settle_stats().por_pruned,
+        cssg_patterns_skipped: cssg.patterns_skipped(),
+        random_passes: state.random.passes,
+        random_patterns: state.random.patterns_evaluated,
+        random_vectors: state.random.vectors_applied,
         records,
         tests: state.tests,
         us_cssg: timings.us_cssg,

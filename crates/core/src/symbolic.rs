@@ -609,7 +609,7 @@ fn classify_states(
 mod tests {
     use super::*;
     use crate::explicit_cssg::{build_cssg, CssgConfig};
-    use satpg_netlist::library;
+    use satpg_netlist::{library, Pattern};
 
     /// The symbolic and explicit constructions must agree exactly when
     /// both use the exact k-bounded semantics.
@@ -639,15 +639,15 @@ mod tests {
             let sj = symbolic
                 .state_index(state)
                 .unwrap_or_else(|| panic!("{}: state {state} missing symbolically", ckt.name()));
-            let ee: Vec<(u64, Bits)> = explicit
+            let ee: Vec<(Pattern, Bits)> = explicit
                 .edges(si)
                 .iter()
-                .map(|&(p, t)| (p, explicit.states()[t].clone()))
+                .map(|(p, t)| (p.clone(), explicit.states()[*t].clone()))
                 .collect();
-            let se: Vec<(u64, Bits)> = symbolic
+            let se: Vec<(Pattern, Bits)> = symbolic
                 .edges(sj)
                 .iter()
-                .map(|&(p, t)| (p, symbolic.states()[t].clone()))
+                .map(|(p, t)| (p.clone(), symbolic.states()[*t].clone()))
                 .collect();
             assert_eq!(ee, se, "{}: edges of {state}", ckt.name());
         }

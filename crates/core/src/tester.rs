@@ -7,14 +7,14 @@
 //! expected (good-machine) outputs.
 
 use crate::cssg::{Cssg, TestSequence};
-use satpg_netlist::Circuit;
+use satpg_netlist::{Circuit, Pattern};
 use std::fmt;
 
 /// One tester cycle: drive `inputs`, wait, compare against `expected`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TesterCycle {
     /// Input pattern (bit `i` drives primary input `i`).
-    pub inputs: u64,
+    pub inputs: Pattern,
     /// Expected primary-output values (bit `i` is output `i`).
     pub expected: u64,
 }
@@ -66,8 +66,8 @@ impl TestProgram {
             .patterns
             .iter()
             .zip(&states)
-            .map(|(&p, &s)| TesterCycle {
-                inputs: p,
+            .map(|(p, &s)| TesterCycle {
+                inputs: p.clone(),
                 expected: cssg.outputs(ckt, s),
             })
             .collect();
@@ -104,7 +104,7 @@ impl fmt::Display for TestProgram {
                 writeln!(
                     f,
                     "apply {} expect {}",
-                    Self::bits_str(c.inputs, self.input_names.len()),
+                    c.inputs,
                     Self::bits_str(c.expected, self.output_names.len()),
                 )?;
             }
@@ -128,9 +128,7 @@ mod tests {
             &ckt,
             &cssg,
             "y/SA0",
-            &TestSequence {
-                patterns: vec![0b11, 0b00],
-            },
+            &TestSequence::from_u64(2, &[0b11, 0b00]),
         );
         assert!(ok);
         assert_eq!(prog.num_cycles(), 2);
@@ -145,14 +143,7 @@ mod tests {
         let ckt = library::figure1b();
         let cssg = build_cssg(&ckt, &CssgConfig::default()).unwrap();
         let mut prog = TestProgram::new(&ckt);
-        let ok = prog.push_sequence(
-            &ckt,
-            &cssg,
-            "bogus",
-            &TestSequence {
-                patterns: vec![0b01],
-            },
-        );
+        let ok = prog.push_sequence(&ckt, &cssg, "bogus", &TestSequence::from_u64(2, &[0b01]));
         assert!(!ok);
         assert_eq!(prog.blocks.len(), 0);
     }

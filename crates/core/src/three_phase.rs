@@ -22,7 +22,7 @@
 
 use crate::cssg::{Cssg, TestSequence};
 use crate::fault::Fault;
-use satpg_netlist::{Bits, Circuit};
+use satpg_netlist::{Bits, Circuit, Pattern};
 use satpg_sim::{CapPolicy, SettleStats, Settler, SettlerConfig};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
@@ -175,7 +175,7 @@ fn three_phase_inner(
         good: usize,
         faulty: BTreeSet<Bits>,
         parent: usize,
-        pattern: u64,
+        pattern: Pattern,
         depth: usize,
     }
     let key_of = |good: usize, fset: &BTreeSet<Bits>| -> (usize, Vec<Bits>) {
@@ -185,7 +185,7 @@ fn three_phase_inner(
         good: cssg.initial(),
         faulty: f0,
         parent: usize::MAX,
-        pattern: 0,
+        pattern: Pattern::zeros(ckt.num_inputs()),
         depth: 0,
     }];
     let mut visited: HashSet<(usize, Vec<Bits>)> = HashSet::new();
@@ -200,9 +200,9 @@ fn three_phase_inner(
         }
         let good = nodes[ni].good;
         let depth = nodes[ni].depth;
-        let edges: Vec<(u64, usize)> = cssg.edges(good).to_vec();
+        let edges: Vec<(Pattern, usize)> = cssg.edges(good).to_vec();
         for (pattern, gsucc) in edges {
-            let Some(fsucc) = settler.settle_set(&nodes[ni].faulty, pattern).ok() else {
+            let Some(fsucc) = settler.settle_set(&nodes[ni].faulty, &pattern).ok() else {
                 truncated = true;
                 continue;
             };
@@ -210,7 +210,7 @@ fn three_phase_inner(
                 let mut patterns = vec![pattern];
                 let mut cur = ni;
                 while nodes[cur].parent != usize::MAX {
-                    patterns.push(nodes[cur].pattern);
+                    patterns.push(nodes[cur].pattern.clone());
                     cur = nodes[cur].parent;
                 }
                 patterns.reverse();

@@ -67,13 +67,13 @@ impl WalkAuditor {
         let mut relation = Bdd::FALSE;
         mgr.protect(relation);
         for s in 0..cssg.num_states() {
-            for &(p, t) in cssg.edges(s) {
+            for (p, t) in cssg.edges(s) {
                 let mut lits: Vec<(u32, bool)> = Vec::new();
                 for b in 0..sbits {
                     lits.push((b, s >> b & 1 == 1));
                 }
                 for b in 0..pbits {
-                    lits.push((sbits + b, p >> b & 1 == 1));
+                    lits.push((sbits + b, p.get(b as usize)));
                 }
                 for b in 0..sbits {
                     lits.push((sbits + pbits + b, t >> b & 1 == 1));
@@ -108,9 +108,9 @@ impl WalkAuditor {
         // root it so the per-step intermediates are free to reclaim.
         let mut reached = self.initial;
         self.mgr.protect(reached);
-        for &p in &seq.patterns {
+        for p in &seq.patterns {
             let plits: Vec<(u32, bool)> = (0..self.pbits)
-                .map(|b| (self.sbits + b, p >> b & 1 == 1))
+                .map(|b| (self.sbits + b, p.get(b as usize)))
                 .collect();
             let pcube = self.mgr.cube(&plits);
             let constrained = self.mgr.and(reached, pcube);
@@ -197,14 +197,10 @@ mod tests {
         let cssg = cssg_of(&ckt);
         let mut aud = WalkAuditor::new(&cssg);
         // Raise both inputs: a CSSG edge from reset.
-        let good = TestSequence {
-            patterns: vec![0b11],
-        };
+        let good = TestSequence::from_u64(2, &[0b11]);
         assert!(aud.check(&good));
         // Replaying the current reset pattern is never an edge.
-        let bad = TestSequence {
-            patterns: vec![0b00],
-        };
+        let bad = TestSequence::from_u64(2, &[0b00]);
         assert!(!aud.check(&bad));
     }
 
@@ -215,12 +211,14 @@ mod tests {
             let mut aud = WalkAuditor::new(&cssg);
             // Every single-step walk agrees with Cssg::replay.
             for s in [cssg.initial()] {
-                for &(p, _) in cssg.edges(s) {
-                    let seq = TestSequence { patterns: vec![p] };
+                for (p, _) in cssg.edges(s) {
+                    let seq = TestSequence {
+                        patterns: vec![p.clone()],
+                    };
                     assert_eq!(
                         aud.check(&seq),
                         cssg.replay(&seq).is_some(),
-                        "{}: pattern {p:b}",
+                        "{}: pattern {p}",
                         ckt.name()
                     );
                 }
@@ -238,8 +236,10 @@ mod tests {
             let mut plain = WalkAuditor::new(&cssg);
             let mut gc = WalkAuditor::with_gc(&cssg, Some(16));
             for s in [cssg.initial()] {
-                for &(p, _) in cssg.edges(s) {
-                    let seq = TestSequence { patterns: vec![p] };
+                for (p, _) in cssg.edges(s) {
+                    let seq = TestSequence {
+                        patterns: vec![p.clone()],
+                    };
                     assert_eq!(gc.check(&seq), plain.check(&seq), "{}", ckt.name());
                 }
             }

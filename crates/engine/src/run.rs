@@ -44,6 +44,11 @@ pub enum EngineEvent {
     RandomDone {
         /// Fault classes it resolved.
         resolved: usize,
+        /// Bit-parallel fixpoint passes it ran.
+        passes: usize,
+        /// Pattern evaluations across those passes (`patterns / passes`
+        /// is the lane throughput: 1 fault-per-lane, 64 pattern-per-bit).
+        patterns: u64,
         /// Microseconds spent.
         us: u128,
     },
@@ -423,6 +428,8 @@ fn run_engine_built(
     let pending = state.open_classes();
     sink.event(EngineEvent::RandomDone {
         resolved: plan.len() - pending.len(),
+        passes: state.random.passes,
+        patterns: state.random.patterns_evaluated,
         us: us_random,
     });
     let workers = cfg.effective_workers(pending.len());
@@ -618,6 +625,9 @@ pub fn reports_identical(a: &AtpgReport, b: &AtpgReport) -> bool {
     a.circuit == b.circuit
         && a.cssg_states == b.cssg_states
         && a.cssg_edges == b.cssg_edges
+        && a.cssg_patterns_skipped == b.cssg_patterns_skipped
+        && a.random_passes == b.random_passes
+        && a.random_patterns == b.random_patterns
         && a.records == b.records
         && a.tests == b.tests
 }

@@ -3,6 +3,7 @@
 use crate::bits::Bits;
 use crate::error::NetlistError;
 use crate::gate::GateKind;
+use crate::pattern::{IntoPattern, Pattern};
 use crate::Result;
 use std::collections::HashMap;
 use std::fmt;
@@ -187,16 +188,31 @@ impl Circuit {
     }
 
     /// Replaces the environment-pin bits with input pattern `v`
-    /// (bit `i` of `v` drives primary input `i`).
-    pub fn with_inputs(&self, state: &Bits, v: u64) -> Bits {
+    /// (bit `i` of the pattern drives primary input `i`).  Accepts a
+    /// bare `u64` for circuits of up to 64 inputs or a [`Pattern`] of
+    /// any width.
+    pub fn with_inputs(&self, state: &Bits, v: impl IntoPattern) -> Bits {
+        let m = self.num_inputs();
+        let p = v.into_pattern(m);
         let mut next = state.clone();
-        next.set_low_u64(self.num_inputs(), v);
+        if m <= 64 {
+            next.set_low_u64(m, p.as_u64().expect("inline pattern"));
+        } else {
+            for i in 0..m {
+                next.set(i, p.get(i));
+            }
+        }
         next
     }
 
     /// The input pattern currently applied in `state`.
-    pub fn input_pattern(&self, state: &Bits) -> u64 {
-        state.low_u64(self.num_inputs())
+    pub fn input_pattern(&self, state: &Bits) -> Pattern {
+        let m = self.num_inputs();
+        if m <= 64 {
+            Pattern::from_u64(m, state.low_u64(m))
+        } else {
+            Pattern::from_fn(m, |i| state.get(i))
+        }
     }
 
     /// The primary-output values of `state`, packed with output `i` at
@@ -340,13 +356,13 @@ impl CircuitBuilder {
     /// # Errors
     ///
     /// Returns an error for duplicate/unknown signals, arity violations,
-    /// logic gates reading environment pins, undriven outputs, an unstable
-    /// initial state, or more than 64 primary inputs.
+    /// logic gates reading environment pins, undriven outputs, or an
+    /// unstable initial state.  There is no input-count limit: patterns
+    /// and states are multi-word, so any number of primary inputs is
+    /// representable (enumeration-based analyses downstream impose their
+    /// own budgets past 63 inputs).
     pub fn finish(self) -> Result<Circuit> {
         let m = self.input_names.len();
-        if m > 64 {
-            return Err(NetlistError::TooManyInputs(m));
-        }
         // Signal table: env pins, then input buffers, then logic gates.
         let mut signal_names: Vec<String> = Vec::new();
         let mut name_index: HashMap<String, SignalId> = HashMap::new();

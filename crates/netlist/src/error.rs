@@ -46,9 +46,6 @@ pub enum NetlistError {
         /// The out-of-range pin index.
         pin: usize,
     },
-    /// The circuit has more than 64 primary inputs, which input patterns
-    /// (packed `u64`s) cannot represent.
-    TooManyInputs(usize),
     /// Syntax error while parsing a `.ckt` file.
     Parse {
         /// 1-based line number.
@@ -87,12 +84,6 @@ impl fmt::Display for NetlistError {
                 write!(
                     f,
                     "gate `{gate}` SOP references pin {pin} outside its input list"
-                )
-            }
-            NetlistError::TooManyInputs(n) => {
-                write!(
-                    f,
-                    "circuit has {n} primary inputs; at most 64 are supported"
                 )
             }
             NetlistError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),

@@ -49,12 +49,15 @@ pub fn muller_pipeline(depth: usize) -> Circuit {
 /// a binary tree of C-elements; the root output `ack` rises only when
 /// every request is high and falls only when every request is low.
 ///
+/// Widths past 64 are fine — patterns and states are multi-word — but
+/// enumeration-based analyses (CSSG construction) need an explicit
+/// pattern budget beyond 63 inputs.
+///
 /// # Panics
 ///
-/// Panics if `width < 2` or `width > 62` (the CSSG abstraction bounds
-/// primary inputs at 63).
+/// Panics if `width < 2`.
 pub fn arbiter_tree(width: usize) -> Circuit {
-    assert!((2..=62).contains(&width), "arbiter width in 2..=62");
+    assert!(width >= 2, "arbiter width at least 2");
     let mut b = CircuitBuilder::new(format!("arbiter{width}"));
     let mut frontier: Vec<PendingSignal> = (0..width)
         .map(|i| b.input(format!("R{i}"), format!("r{i}")))
@@ -150,6 +153,27 @@ mod tests {
             // Dropping all releases it.
             let down = settle(&c, hold, 0);
             assert_eq!(c.output_values(&down), 0, "width {w}: grant released");
+        }
+    }
+
+    #[test]
+    fn arbiter_tree_crosses_the_64_input_wall() {
+        use crate::Pattern;
+        for w in [63, 64, 65] {
+            let c = arbiter_tree(w);
+            assert_eq!(c.num_inputs(), w);
+            assert!(c.is_stable(c.initial_state()), "width {w}");
+            let all = Pattern::from_fn(w, |_| true);
+            let mut s = c.with_inputs(c.initial_state(), &all);
+            for _ in 0..4 * c.num_gates() + 4 {
+                match c.excited_gates(&s).first() {
+                    Some(&g) => s = c.step_gate(g, &s),
+                    None => break,
+                }
+            }
+            assert!(c.is_stable(&s), "width {w}");
+            assert_eq!(c.output_values(&s), 1, "width {w}: all requests grant");
+            assert_eq!(c.input_pattern(&s), all, "width {w}: pattern readback");
         }
     }
 

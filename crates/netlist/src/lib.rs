@@ -37,12 +37,14 @@ pub mod families;
 mod gate;
 pub mod library;
 mod parser;
+mod pattern;
 
 pub use bits::Bits;
 pub use circuit::{Circuit, CircuitBuilder, Gate, GateId, SignalId};
 pub use error::NetlistError;
 pub use gate::{Cube, GateKind, Literal, Sop};
 pub use parser::{parse_ckt, to_ckt};
+pub use pattern::{pattern_count, IntoPattern, Pattern, Patterns};
 
 /// Convenient alias for results in this crate.
 pub type Result<T> = std::result::Result<T, NetlistError>;

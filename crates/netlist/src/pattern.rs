@@ -1,0 +1,466 @@
+//! Input patterns of arbitrary width.
+//!
+//! [`Pattern`] is the input-vector counterpart of [`crate::Bits`]: bit
+//! `i` holds the value applied to primary input `i`.  Unlike `Bits` it
+//! stores the common ≤64-input case inline (no heap allocation), so the
+//! pattern enumeration loops at the heart of CSSG construction cost the
+//! same as the old bare-`u64` words, while anything wider spills to
+//! boxed words instead of overflowing a shift.
+//!
+//! Enumeration is iterator based ([`Pattern::all`]) and counting is
+//! checked ([`pattern_count`]): no caller ever computes `1u64 << n`,
+//! which panicked in debug builds and silently wrapped to a single
+//! pattern in release builds at exactly `n == 64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Checked pattern-space size: `Some(2^n)` when the count fits a `u64`,
+/// `None` from 64 inputs up.
+///
+/// This is the one sanctioned replacement for the `1u64 << n` idiom: a
+/// `None` means "more patterns than a `u64` can count", never a panic or
+/// a wrap.
+#[inline]
+pub fn pattern_count(n: usize) -> Option<u64> {
+    (n < 64).then(|| 1u64 << n)
+}
+
+/// Mask selecting the bits of the top word that are inside `len`.
+#[inline]
+fn top_mask(len: usize) -> u64 {
+    let r = len % 64;
+    if r == 0 {
+        u64::MAX
+    } else {
+        (1u64 << r) - 1
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// `len <= 64`: the whole pattern in one word.
+    Inline(u64),
+    /// `len > 64`: `len.div_ceil(64)` words, low word first, bits past
+    /// `len` always zero.
+    Spill(Box<[u64]>),
+}
+
+/// An input pattern: bit `i` is the value applied to primary input `i`.
+///
+/// The representation is canonical — `len <= 64` is always [`Repr::Inline`]
+/// — so the derived `Eq`/`Hash` are sound, and the manual [`Ord`] sorts
+/// patterns of equal width in plain numeric order (matching the old `u64`
+/// ascending enumeration, which keeps CSSG edge lists and therefore
+/// report bytes stable).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    len: u32,
+    repr: Repr,
+}
+
+impl Pattern {
+    /// The all-zero pattern of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Pattern::from_u64(len, 0)
+    }
+
+    /// A pattern of `len` bits whose low 64 bits come from `v`; bits of
+    /// `v` at positions `>= len` are masked off (the `set_low_u64`
+    /// semantics the old `u64` call sites relied on).
+    pub fn from_u64(len: usize, v: u64) -> Self {
+        if len <= 64 {
+            let v = if len == 64 {
+                v
+            } else {
+                v & ((1u64 << len) - 1)
+            };
+            Pattern {
+                len: len as u32,
+                repr: Repr::Inline(v),
+            }
+        } else {
+            let mut words = vec![0u64; len.div_ceil(64)];
+            words[0] = v;
+            Pattern {
+                len: len as u32,
+                repr: Repr::Spill(words.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// A pattern of `len` bits from a predicate on bit positions.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut p = Pattern::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                p.set(i, true);
+            }
+        }
+        p
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the pattern has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len(), "pattern bit {i} out of range {}", self.len);
+        match &self.repr {
+            Repr::Inline(w) => (w >> i) & 1 == 1,
+            Repr::Spill(ws) => (ws[i / 64] >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len(), "pattern bit {i} out of range {}", self.len);
+        let m = 1u64 << (i % 64);
+        let w = match &mut self.repr {
+            Repr::Inline(w) => w,
+            Repr::Spill(ws) => &mut ws[i / 64],
+        };
+        if v {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        match &self.repr {
+            Repr::Inline(w) => w.count_ones() as usize,
+            Repr::Spill(ws) => ws.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    /// The pattern's value as a `u64`, when it fits (always for the
+    /// inline ≤64-bit representation; for wider patterns only when all
+    /// high words are zero).
+    pub fn as_u64(&self) -> Option<u64> {
+        match &self.repr {
+            Repr::Inline(w) => Some(*w),
+            Repr::Spill(ws) => ws[1..].iter().all(|&w| w == 0).then(|| ws[0]),
+        }
+    }
+
+    /// Backing word `w` (low bit of word 0 is bit 0); zero past the end.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        match &self.repr {
+            Repr::Inline(v) => {
+                if w == 0 {
+                    *v
+                } else {
+                    0
+                }
+            }
+            Repr::Spill(ws) => ws.get(w).copied().unwrap_or(0),
+        }
+    }
+
+    /// Adds one modulo `2^len` (ripple carry across words) and reports
+    /// whether the result did *not* wrap to zero — i.e. `true` while the
+    /// enumeration has more patterns.
+    pub fn increment(&mut self) -> bool {
+        let len = self.len();
+        if len == 0 {
+            return false;
+        }
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                let mask = if len == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                };
+                *w = w.wrapping_add(1) & mask;
+                *w != 0
+            }
+            Repr::Spill(ws) => {
+                for w in ws.iter_mut() {
+                    let (nv, carry) = w.overflowing_add(1);
+                    *w = nv;
+                    if !carry {
+                        break;
+                    }
+                }
+                let last = ws.len() - 1;
+                ws[last] &= top_mask(len);
+                ws.iter().any(|&w| w != 0)
+            }
+        }
+    }
+
+    /// Iterates every `len`-bit pattern in ascending numeric order,
+    /// starting from zero.  This replaces the `0..(1u64 << n)` loops: it
+    /// is correct for *any* width (the iterator simply never terminates
+    /// early — callers enumerating very wide spaces are expected to
+    /// impose their own budget).
+    pub fn all(len: usize) -> Patterns {
+        Patterns {
+            next: Some(Pattern::zeros(len)),
+        }
+    }
+}
+
+impl Ord for Pattern {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.len.cmp(&other.len).then_with(|| {
+            match (&self.repr, &other.repr) {
+                (Repr::Inline(a), Repr::Inline(b)) => a.cmp(b),
+                (Repr::Spill(a), Repr::Spill(b)) => {
+                    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+                        match x.cmp(y) {
+                            Ordering::Equal => {}
+                            o => return o,
+                        }
+                    }
+                    Ordering::Equal
+                }
+                // Unreachable under the canonical-representation
+                // invariant (equal lengths share a variant), but keep
+                // the order total anyway.
+                (Repr::Inline(_), Repr::Spill(_)) => Ordering::Less,
+                (Repr::Spill(_), Repr::Inline(_)) => Ordering::Greater,
+            }
+        })
+    }
+}
+
+impl PartialOrd for Pattern {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for Pattern {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<Pattern> for u64 {
+    fn eq(&self, other: &Pattern) -> bool {
+        other.as_u64() == Some(*self)
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Bit 0 first, like [`crate::Bits`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_u64() {
+            Some(v) => write!(f, "Pattern({}:{v})", self.len),
+            None => write!(f, "Pattern({}:{self})", self.len),
+        }
+    }
+}
+
+/// Ascending enumeration of every pattern of a fixed width; see
+/// [`Pattern::all`].
+pub struct Patterns {
+    next: Option<Pattern>,
+}
+
+impl Iterator for Patterns {
+    type Item = Pattern;
+
+    fn next(&mut self) -> Option<Pattern> {
+        let cur = self.next.take()?;
+        let mut nxt = cur.clone();
+        if nxt.increment() {
+            self.next = Some(nxt);
+        }
+        Some(cur)
+    }
+}
+
+/// Anything convertible to a [`Pattern`] of a given width: `u64` for the
+/// classic narrow call sites, `Pattern`/`&Pattern` pass through.  APIs
+/// taking `impl IntoPattern` stay source compatible with the old bare
+/// `u64` arguments while accepting arbitrary-width patterns.
+pub trait IntoPattern {
+    /// Converts to a pattern of exactly `len` bits; extra high bits of a
+    /// `u64` are masked off (the old `set_low_u64` semantics).
+    fn into_pattern(self, len: usize) -> Pattern;
+}
+
+impl IntoPattern for u64 {
+    fn into_pattern(self, len: usize) -> Pattern {
+        Pattern::from_u64(len, self)
+    }
+}
+
+impl IntoPattern for Pattern {
+    fn into_pattern(self, len: usize) -> Pattern {
+        debug_assert_eq!(self.len(), len, "pattern width mismatch");
+        self
+    }
+}
+
+impl IntoPattern for &Pattern {
+    fn into_pattern(self, len: usize) -> Pattern {
+        debug_assert_eq!(self.len(), len, "pattern width mismatch");
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_count_is_checked() {
+        assert_eq!(pattern_count(0), Some(1));
+        assert_eq!(pattern_count(2), Some(4));
+        assert_eq!(pattern_count(63), Some(1u64 << 63));
+        assert_eq!(pattern_count(64), None);
+        assert_eq!(pattern_count(65), None);
+    }
+
+    #[test]
+    fn inline_roundtrip() {
+        let p = Pattern::from_u64(6, 0b101101);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.as_u64(), Some(0b101101));
+        assert!(p.get(0) && !p.get(1) && p.get(5));
+        assert_eq!(p.count_ones(), 4);
+        assert_eq!(p, 0b101101u64);
+    }
+
+    #[test]
+    fn from_u64_masks_high_bits() {
+        let p = Pattern::from_u64(2, 0b111);
+        assert_eq!(p.as_u64(), Some(0b11));
+    }
+
+    #[test]
+    fn spill_roundtrip() {
+        let mut p = Pattern::zeros(130);
+        p.set(0, true);
+        p.set(64, true);
+        p.set(129, true);
+        assert_eq!(p.count_ones(), 3);
+        assert!(p.get(64) && p.get(129) && !p.get(128));
+        assert_eq!(p.as_u64(), None);
+        assert_eq!(p.word(0), 1);
+        assert_eq!(p.word(1), 1);
+        assert_eq!(p.word(2), 2);
+        assert_eq!(p.word(3), 0);
+    }
+
+    #[test]
+    fn spill_with_zero_high_words_still_reads_as_u64() {
+        let p = Pattern::from_u64(70, 42);
+        assert_eq!(p.as_u64(), Some(42));
+        assert_eq!(p, 42u64);
+    }
+
+    #[test]
+    fn increment_matches_u64_arithmetic() {
+        for len in [1usize, 2, 5, 8] {
+            let mut p = Pattern::zeros(len);
+            let count = pattern_count(len).unwrap();
+            for v in 0..count {
+                assert_eq!(p.as_u64(), Some(v), "len {len}");
+                let more = p.increment();
+                assert_eq!(more, v + 1 < count, "len {len} at {v}");
+            }
+            assert_eq!(p.as_u64(), Some(0), "wraps to zero");
+        }
+    }
+
+    #[test]
+    fn increment_carries_across_words() {
+        let mut p = Pattern::from_u64(70, u64::MAX);
+        assert!(p.increment());
+        assert_eq!(p.word(0), 0);
+        assert_eq!(p.word(1), 1);
+    }
+
+    #[test]
+    fn increment_wraps_at_full_width() {
+        // 65 bits, all ones: +1 wraps to zero and reports exhaustion.
+        let mut p = Pattern::from_fn(65, |_| true);
+        assert!(!p.increment());
+        assert_eq!(p.count_ones(), 0);
+        // Same at exactly 64 bits.
+        let mut q = Pattern::from_u64(64, u64::MAX);
+        assert!(!q.increment());
+        assert_eq!(q.as_u64(), Some(0));
+    }
+
+    #[test]
+    fn all_enumerates_in_ascending_order() {
+        let got: Vec<u64> = Pattern::all(3).map(|p| p.as_u64().unwrap()).collect();
+        assert_eq!(got, (0..8).collect::<Vec<u64>>());
+        // Width zero has exactly one (empty) pattern.
+        assert_eq!(Pattern::all(0).count(), 1);
+    }
+
+    #[test]
+    fn all_works_past_the_wall() {
+        // The old `0..(1u64 << 64)` would have panicked (debug) or been
+        // empty-after-wrap (release); the iterator just enumerates.
+        let first: Vec<Pattern> = Pattern::all(64).take(3).collect();
+        assert_eq!(first[0], 0u64);
+        assert_eq!(first[2], 2u64);
+        let wide: Vec<Pattern> = Pattern::all(65).take(3).collect();
+        assert_eq!(wide[1], 1u64);
+        assert_eq!(wide[1].len(), 65);
+    }
+
+    #[test]
+    fn ord_matches_numeric_order() {
+        let mut v: Vec<Pattern> = Pattern::all(4).collect();
+        let sorted = v.clone();
+        v.reverse();
+        v.sort();
+        assert_eq!(v, sorted);
+        // And across words.
+        let a = Pattern::from_u64(70, u64::MAX);
+        let mut b = a.clone();
+        b.increment();
+        assert!(a < b, "2^64 - 1 < 2^64");
+    }
+
+    #[test]
+    fn into_pattern_masks_like_set_low_u64() {
+        let p = 0xFFu64.into_pattern(3);
+        assert_eq!(p.as_u64(), Some(0b111));
+        let q = (&p).into_pattern(3);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn display_is_bit0_first() {
+        assert_eq!(Pattern::from_u64(4, 0b0101).to_string(), "1010");
+    }
+}

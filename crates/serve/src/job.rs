@@ -40,12 +40,16 @@ pub fn resolve_circuit(spec: &CircuitSpec) -> Result<Circuit, String> {
             let stg = suite::load(name).map_err(|e| format!("{name}: {e}"))?;
             synth(&stg, style).map_err(|e| format!("{name}: {e}"))
         }
+        // Family size caps mirror the CLI's `gen` ranges.  They are
+        // resource guards, not representation limits: patterns and
+        // states are multi-word, so arbiter widths past 63 are legal —
+        // such jobs just need an explicit `pattern_budget`.
         CircuitSpec::Family { name, size } => match name.as_str() {
             "muller" => Ok(satpg_netlist::families::muller_pipeline(size_in(
-                *size, 1, 64,
+                *size, 1, 128,
             )?)),
             "arbiter" => Ok(satpg_netlist::families::arbiter_tree(size_in(
-                *size, 2, 62,
+                *size, 2, 128,
             )?)),
             "dme" => {
                 let stg = satpg_stg::families::dme_ring(size_in(*size, 2, 6)?)

@@ -147,8 +147,15 @@ pub struct JobSpec {
     pub collapse: bool,
     /// Skip the random-TPG stage.
     pub no_random: bool,
+    /// Run the random stage pattern-per-bit: 64 patterns per settling
+    /// pass against one broadcast fault.
+    pub pp_random: bool,
     /// Explicit CSSG transition bound; `None` derives it.
     pub k: Option<usize>,
+    /// Per-state CSSG pattern budget.  Required for circuits with more
+    /// than 63 primary inputs (exhaustive enumeration stops there);
+    /// `None` enumerates exhaustively.
+    pub pattern_budget: Option<u64>,
 }
 
 impl JobSpec {
@@ -161,7 +168,9 @@ impl JobSpec {
             output_model: false,
             collapse: false,
             no_random: false,
+            pp_random: false,
             k: None,
+            pattern_budget: None,
         }
     }
 }
@@ -203,8 +212,14 @@ impl Request {
                 if spec.no_random {
                     m.push(("no_random".to_string(), Json::Bool(true)));
                 }
+                if spec.pp_random {
+                    m.push(("pp_random".to_string(), Json::Bool(true)));
+                }
                 if let Some(k) = spec.k {
                     m.push(("k".to_string(), Json::int(k)));
+                }
+                if let Some(b) = spec.pattern_budget {
+                    m.push(("pattern_budget".to_string(), Json::int(b)));
                 }
                 Json::Obj(m)
             }
@@ -256,7 +271,9 @@ impl Request {
                     output_model: bool_knob("output_model")?,
                     collapse: bool_knob("collapse")?,
                     no_random: bool_knob("no_random")?,
+                    pp_random: bool_knob("pp_random")?,
                     k: usize_knob("k", MAX_K)?,
+                    pattern_budget: usize_knob("pattern_budget", usize::MAX / 2)?.map(|b| b as u64),
                 })))
             }
             other => Err(format!("unknown command `{other}`")),
@@ -376,7 +393,9 @@ mod tests {
             output_model: true,
             collapse: true,
             no_random: true,
+            pp_random: true,
             k: Some(40),
+            pattern_budget: Some(256),
         })));
         round_trip(Request::Submit(Box::new(JobSpec::new(
             CircuitSpec::InlineCkt {

@@ -83,14 +83,16 @@ struct QueuedJob {
 type CssgKey = (u64, Option<usize>, u64);
 
 /// Hash of the settling policy a CSSG was built under: the POR flag,
-/// the cap policy and the ternary fast path.  `CapPolicy`'s `Debug`
-/// form is a stable rendering of its parameters, so equal policies hash
-/// equal.
+/// the cap policy, the ternary fast path and the per-state pattern
+/// budget (a budgeted graph covers fewer edges, so it must never be
+/// served for an exhaustive request or vice versa).  `CapPolicy`'s
+/// `Debug` form is a stable rendering of its parameters, so equal
+/// policies hash equal.
 fn settle_signature(cfg: &satpg_core::CssgConfig) -> u64 {
     fnv64(
         format!(
-            "por={};cap={:?};fast={}",
-            cfg.por, cfg.settle_cap, cfg.ternary_fast_path
+            "por={};cap={:?};fast={};budget={:?}",
+            cfg.por, cfg.settle_cap, cfg.ternary_fast_path, cfg.pattern_budget
         )
         .as_bytes(),
     )
@@ -285,11 +287,18 @@ impl EngineSink for ChannelSink {
                     ("us".to_string(), Json::int(us)),
                 ],
             )),
-            EngineEvent::RandomDone { resolved, us } => self.send(event::stage(
+            EngineEvent::RandomDone {
+                resolved,
+                passes,
+                patterns,
+                us,
+            } => self.send(event::stage(
                 j,
                 "random",
                 vec![
                     ("resolved".to_string(), Json::int(resolved)),
+                    ("passes".to_string(), Json::int(passes)),
+                    ("patterns_evaluated".to_string(), Json::int(patterns)),
                     ("us".to_string(), Json::int(us)),
                 ],
             )),
@@ -363,12 +372,16 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
         atpg: AtpgConfig {
             cssg: CssgConfig {
                 k: job.spec.k,
+                pattern_budget: job.spec.pattern_budget,
                 ..CssgConfig::default()
             },
             random: if job.spec.no_random {
                 None
             } else {
-                Some(Default::default())
+                Some(satpg_core::RandomTpgConfig {
+                    pattern_parallel: job.spec.pp_random,
+                    ..Default::default()
+                })
             },
             fault_model: if job.spec.output_model {
                 FaultModel::OutputStuckAt

@@ -294,6 +294,46 @@ fn malformed_submissions_fail_with_line_numbers_not_panics() {
     handle.join().unwrap().unwrap();
 }
 
+/// The ==64-input boundary through the daemon: a 64-request arbiter
+/// without a pattern budget fails with the same diagnostic the serial
+/// core raises (no panic, no silent one-pattern truncation); with a
+/// budget the job completes and the report ledger counts the skipped
+/// patterns.
+#[test]
+fn sixty_four_input_jobs_need_a_budget_and_then_run() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let arbiter64 = || {
+        JobSpec::new(CircuitSpec::Family {
+            name: "arbiter".to_string(),
+            size: 64,
+        })
+    };
+    // Without a budget: the daemon reports the core's own diagnostic.
+    let expected = satpg_core::CoreError::PatternBudgetRequired(64).to_string();
+    match client.submit(arbiter64()) {
+        Err(ClientError::Job(msg)) => assert_eq!(msg, expected),
+        other => panic!("expected the budget diagnostic, got {other:?}"),
+    }
+    // With a budget: the flow completes and the shortfall is counted.
+    let out = client
+        .submit(JobSpec {
+            pattern_budget: Some(4),
+            no_random: true,
+            ..arbiter64()
+        })
+        .expect("budgeted 64-input job runs");
+    let report = out.report.get("report").expect("report body");
+    let skipped = report
+        .get("cssg")
+        .and_then(|c| c.get("patterns_skipped"))
+        .and_then(Json::as_usize)
+        .expect("skip ledger present");
+    assert!(skipped > 0, "2^64 under budget 4 must record skips");
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
 #[test]
 fn raw_garbage_lines_get_rejected_events() {
     use std::io::{BufRead, BufReader, Write};

@@ -17,7 +17,7 @@
 
 use crate::inject::Injection;
 use crate::settler::{CapPolicy, Settle, Settler, SettlerConfig};
-use satpg_netlist::{Bits, Circuit};
+use satpg_netlist::{Bits, Circuit, IntoPattern};
 use std::collections::BTreeSet;
 
 /// Configuration for [`settle_explicit`] (the legacy fixed-cap shape).
@@ -79,7 +79,7 @@ impl ExplicitConfig {
 pub fn settle_explicit(
     ckt: &Circuit,
     from: &Bits,
-    pattern: u64,
+    pattern: impl IntoPattern,
     inj: &Injection,
     cfg: &ExplicitConfig,
 ) -> Settle {
@@ -103,7 +103,7 @@ pub fn settle_explicit(
 pub fn settle_set(
     ckt: &Circuit,
     from: &BTreeSet<Bits>,
-    pattern: u64,
+    pattern: impl IntoPattern,
     inj: &Injection,
     cfg: &ExplicitConfig,
 ) -> Option<BTreeSet<Bits>> {
@@ -117,7 +117,7 @@ mod tests {
     use super::*;
     use crate::inject::Site;
     use crate::ternary::{ternary_settle, TernaryOutcome};
-    use satpg_netlist::library;
+    use satpg_netlist::{library, Pattern};
 
     fn cfg_exact(ckt: &Circuit) -> ExplicitConfig {
         ExplicitConfig {
@@ -178,30 +178,30 @@ mod tests {
     #[test]
     fn fast_path_agrees_with_exact_on_definite_cases() {
         for ckt in library::all() {
-            for pattern in 0..(1u64 << ckt.num_inputs()) {
+            for pattern in Pattern::all(ckt.num_inputs()) {
                 let fast = settle_explicit(
                     &ckt,
                     ckt.initial_state(),
-                    pattern,
+                    &pattern,
                     &Injection::none(),
                     &ExplicitConfig::for_circuit(&ckt),
                 );
                 let exact = settle_explicit(
                     &ckt,
                     ckt.initial_state(),
-                    pattern,
+                    &pattern,
                     &Injection::none(),
                     &cfg_exact(&ckt),
                 );
                 if let (Settle::Confluent(a), Settle::Confluent(b)) = (&fast, &exact) {
-                    assert_eq!(a, b, "{} pattern {pattern:b}", ckt.name());
+                    assert_eq!(a, b, "{} pattern {pattern}", ckt.name());
                 }
                 // The fast path may *only* add confluent answers where the
                 // exact analysis ran out of k, never contradict it.
                 if let Settle::NonConfluent(_) = exact {
                     assert!(
                         !fast.is_valid(),
-                        "{} pattern {pattern:b}: ternary accepted a race",
+                        "{} pattern {pattern}: ternary accepted a race",
                         ckt.name()
                     );
                 }
@@ -249,21 +249,21 @@ mod tests {
     fn ternary_definite_implies_explicit_confluent() {
         // The conservativeness direction the ATPG soundness rests on.
         for ckt in library::all() {
-            for pattern in 0..(1u64 << ckt.num_inputs()) {
+            for pattern in Pattern::all(ckt.num_inputs()) {
                 if let TernaryOutcome::Definite(tb) =
-                    ternary_settle(&ckt, ckt.initial_state(), pattern, &Injection::none())
+                    ternary_settle(&ckt, ckt.initial_state(), &pattern, &Injection::none())
                 {
                     let exact = settle_explicit(
                         &ckt,
                         ckt.initial_state(),
-                        pattern,
+                        &pattern,
                         &Injection::none(),
                         &cfg_exact(&ckt),
                     );
                     match exact {
                         Settle::Confluent(eb) => assert_eq!(tb, eb, "{}", ckt.name()),
                         other => panic!(
-                            "{} pattern {pattern:b}: ternary definite but explicit {other:?}",
+                            "{} pattern {pattern}: ternary definite but explicit {other:?}",
                             ckt.name()
                         ),
                     }

@@ -30,6 +30,8 @@ mod ternary;
 
 pub use explicit::{settle_explicit, settle_set, ExplicitConfig};
 pub use inject::{eval_gate_inj, is_excited_inj, Force, Injection, Site};
-pub use parallel::{parallel_settle, ParallelInjection, PlaneState};
+pub use parallel::{
+    parallel_settle, parallel_settle_patterns, ParallelInjection, PlaneState, LANES,
+};
 pub use settler::{CapPolicy, SetSettle, Settle, SettleStats, Settler, SettlerConfig};
 pub use ternary::{ternary_settle, ternary_settle_from, TernaryOutcome, Trit, TritVec};

@@ -27,7 +27,7 @@
 
 use crate::inject::{is_excited_inj, Injection};
 use crate::ternary::{eval_gate_ternary, ternary_settle, TernaryOutcome, Trit, TritVec};
-use satpg_netlist::{Bits, Circuit, GateId, GateKind};
+use satpg_netlist::{Bits, Circuit, GateId, GateKind, IntoPattern};
 use std::collections::BTreeSet;
 
 /// How the cap on the tracked interleaving set is chosen.
@@ -345,15 +345,16 @@ impl<'c> Settler<'c> {
     /// `NonConfluent` payloads are exactly those of the naive walk
     /// whenever the naive walk completes; only the `Unstable` payload
     /// may be a (sound) subset.
-    pub fn settle(&mut self, from: &Bits, pattern: u64) -> Settle {
+    pub fn settle(&mut self, from: &Bits, pattern: impl IntoPattern) -> Settle {
+        let pattern = pattern.into_pattern(self.ckt.num_inputs());
         self.stats.settles += 1;
         if self.fast_path {
-            if let TernaryOutcome::Definite(b) = ternary_settle(self.ckt, from, pattern, &self.inj)
+            if let TernaryOutcome::Definite(b) = ternary_settle(self.ckt, from, &pattern, &self.inj)
             {
                 return Settle::Confluent(b);
             }
         }
-        let start = self.ckt.with_inputs(from, pattern);
+        let start = self.ckt.with_inputs(from, &pattern);
         let por = self.por;
         match self.bounded_walk(BTreeSet::from([start]), por) {
             Bounded::Truncated => {
@@ -390,20 +391,21 @@ impl<'c> Settler<'c> {
     /// walk that reaches depth `k` unsettled falls back to the naive
     /// walk, because the oscillation closure must see *every* transient
     /// the machine could be sampled in.
-    pub fn settle_set(&mut self, from: &BTreeSet<Bits>, pattern: u64) -> SetSettle {
+    pub fn settle_set(&mut self, from: &BTreeSet<Bits>, pattern: impl IntoPattern) -> SetSettle {
+        let pattern = pattern.into_pattern(self.ckt.num_inputs());
         self.stats.settles += 1;
         // Fast path: a singleton, ternary-definite settle is exact (also
         // under injection: definite means every interleaving agrees).
         if self.fast_path && from.len() == 1 {
             let only = from.iter().next().expect("len checked");
-            if let TernaryOutcome::Definite(b) = ternary_settle(self.ckt, only, pattern, &self.inj)
+            if let TernaryOutcome::Definite(b) = ternary_settle(self.ckt, only, &pattern, &self.inj)
             {
                 return SetSettle::Set(BTreeSet::from([b]));
             }
         }
         let start: BTreeSet<Bits> = from
             .iter()
-            .map(|s| self.ckt.with_inputs(s, pattern))
+            .map(|s| self.ckt.with_inputs(s, &pattern))
             .collect();
         if self.por {
             match self.bounded_walk(start.clone(), true) {
@@ -675,7 +677,7 @@ impl<'c> Settler<'c> {
 mod tests {
     use super::*;
     use crate::inject::Site;
-    use satpg_netlist::library;
+    use satpg_netlist::{library, Pattern};
 
     fn naive_cfg(ckt: &Circuit) -> SettlerConfig {
         SettlerConfig {
@@ -762,15 +764,15 @@ mod tests {
             let inj = Injection::none();
             let mut naive = Settler::new(&ckt, &inj, &naive_cfg(&ckt));
             let mut por = Settler::new(&ckt, &inj, &por_cfg(&ckt));
-            for pattern in 0..(1u64 << ckt.num_inputs()) {
-                let n = naive.settle(ckt.initial_state(), pattern);
-                let p = por.settle(ckt.initial_state(), pattern);
+            for pattern in Pattern::all(ckt.num_inputs()) {
+                let n = naive.settle(ckt.initial_state(), &pattern);
+                let p = por.settle(ckt.initial_state(), &pattern);
                 match (&n, &p) {
                     (Settle::Confluent(a), Settle::Confluent(b)) => assert_eq!(a, b),
                     (Settle::NonConfluent(a), Settle::NonConfluent(b)) => assert_eq!(a, b),
                     (Settle::Unstable(_), Settle::Unstable(_)) => {}
                     (Settle::Truncated, Settle::Truncated) => {}
-                    other => panic!("{} pattern {pattern:b}: {other:?}", ckt.name()),
+                    other => panic!("{} pattern {pattern}: {other:?}", ckt.name()),
                 }
             }
         }
@@ -785,10 +787,10 @@ mod tests {
             let mut naive = Settler::new(&ckt, &inj, &naive_cfg(&ckt));
             let mut por = Settler::new(&ckt, &inj, &por_cfg(&ckt));
             let mut from = BTreeSet::from([ckt.initial_state().clone()]);
-            for pattern in 0..(1u64 << ckt.num_inputs()) {
-                let n = naive.settle_set(&from, pattern).ok();
-                let p = por.settle_set(&from, pattern).ok();
-                assert_eq!(n, p, "{} pattern {pattern:b}", ckt.name());
+            for pattern in Pattern::all(ckt.num_inputs()) {
+                let n = naive.settle_set(&from, &pattern).ok();
+                let p = por.settle_set(&from, &pattern).ok();
+                assert_eq!(n, p, "{} pattern {pattern}", ckt.name());
                 if let Some(set) = n {
                     if !set.is_empty() {
                         from = set;
@@ -871,11 +873,11 @@ mod tests {
             };
             let mut serial = Settler::new(&ckt, &inj, &serial_cfg);
             let mut par = Settler::new(&ckt, &inj, &par_cfg);
-            for pattern in 0..(1u64 << ckt.num_inputs()) {
+            for pattern in Pattern::all(ckt.num_inputs()) {
                 assert_eq!(
-                    serial.settle(ckt.initial_state(), pattern),
-                    par.settle(ckt.initial_state(), pattern),
-                    "{} pattern {pattern:b}",
+                    serial.settle(ckt.initial_state(), &pattern),
+                    par.settle(ckt.initial_state(), &pattern),
+                    "{} pattern {pattern}",
                     ckt.name()
                 );
             }

@@ -11,7 +11,7 @@
 //! (Brzozowski & Seger, *Asynchronous Circuits*, 1995).
 
 use crate::inject::Injection;
-use satpg_netlist::{Bits, Circuit, GateId, GateKind};
+use satpg_netlist::{Bits, Circuit, GateId, GateKind, IntoPattern};
 
 /// A three-valued signal level.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -215,7 +215,12 @@ pub fn algorithm_b(ckt: &Circuit, state: &mut TritVec, inj: &Injection) {
 
 /// Applies input pattern `pattern` to the (binary) stable state `from`
 /// and runs algorithms A and B.
-pub fn ternary_settle(ckt: &Circuit, from: &Bits, pattern: u64, inj: &Injection) -> TernaryOutcome {
+pub fn ternary_settle(
+    ckt: &Circuit,
+    from: &Bits,
+    pattern: impl IntoPattern,
+    inj: &Injection,
+) -> TernaryOutcome {
     ternary_settle_from(ckt, &TritVec::from_bits(from), pattern, inj)
 }
 
@@ -224,12 +229,13 @@ pub fn ternary_settle(ckt: &Circuit, from: &Bits, pattern: u64, inj: &Injection)
 pub fn ternary_settle_from(
     ckt: &Circuit,
     from: &TritVec,
-    pattern: u64,
+    pattern: impl IntoPattern,
     inj: &Injection,
 ) -> TernaryOutcome {
+    let pattern = pattern.into_pattern(ckt.num_inputs());
     let mut s = from.clone();
     for i in 0..ckt.num_inputs() {
-        s.0[i] = Trit::from_bool((pattern >> i) & 1 == 1);
+        s.0[i] = Trit::from_bool(pattern.get(i));
     }
     algorithm_a(ckt, &mut s, inj);
     algorithm_b(ckt, &mut s, inj);

@@ -7,7 +7,7 @@
 //! * settled states are stable.
 
 use proptest::prelude::*;
-use satpg_netlist::{Bits, Circuit, CircuitBuilder, GateId, GateKind};
+use satpg_netlist::{Bits, Circuit, CircuitBuilder, GateId, GateKind, Pattern, SignalId};
 use satpg_sim::{
     parallel_settle, settle_explicit, ternary_settle, ExplicitConfig, Injection, ParallelInjection,
     PlaneState, Settle, Site, TernaryOutcome, Trit, TritVec,
@@ -33,11 +33,23 @@ fn kind_of(sel: u8, arity: usize) -> GateKind {
 }
 
 fn build(bp: &Blueprint) -> Option<Circuit> {
+    build_padded(bp, 0)
+}
+
+/// Builds the blueprint's circuit with `extra` additional buffered
+/// inputs appended after the real ones.  No gate reads them (fanin
+/// names are resolved against the unpadded name list), so the padded
+/// circuit computes the same function — but with `extra >= 64` every
+/// pattern and state spills past the single-word fast path.
+fn build_padded(bp: &Blueprint, extra: usize) -> Option<Circuit> {
     let mut b = CircuitBuilder::new("random");
     let mut names: Vec<String> = Vec::new();
     for i in 0..bp.num_inputs {
         b.input(format!("I{i}"), format!("i{i}"));
         names.push(format!("i{i}"));
+    }
+    for z in 0..extra {
+        b.input(format!("Z{z}"), format!("z{z}"));
     }
     for (gi, _) in bp.gates.iter().enumerate() {
         names.push(format!("g{gi}"));
@@ -203,6 +215,96 @@ proptest! {
             ternary_settle(&c, c.initial_state(), pattern, &Injection::none())
         {
             prop_assert_eq!(c.input_pattern(&b), pattern);
+        }
+    }
+
+    /// Multi-word identity: the same circuit padded past 64 signals
+    /// (spilled patterns and states) settles exactly like the narrow
+    /// single-word original, signal for signal — under the ternary,
+    /// exhaustive and 64-lane parallel engines alike.
+    #[test]
+    fn padded_multiword_matches_u64_fast_path(bp in arb_blueprint(), pattern in any::<u64>(), high in any::<u64>()) {
+        let Some(narrow) = build(&bp) else { return Ok(()) };
+        let Some(wide) = build_padded(&bp, 64) else { return Ok(()) };
+        prop_assert!(wide.num_state_bits() > 64, "padding must force the spill repr");
+        let ni = narrow.num_inputs();
+        let pattern = pattern & ((1 << ni) - 1);
+
+        // Shared-signal correspondence, narrow index -> padded index.
+        let map: Vec<(usize, usize)> = (0..narrow.num_state_bits())
+            .map(|i| {
+                let name = narrow.signal_name(SignalId(i as u32));
+                (i, wide.signal_by_name(name).unwrap().index())
+            })
+            .collect();
+
+        // Ternary fixpoint: arbitrary junk in the high word must not
+        // leak into the embedded circuit.
+        let wp = Pattern::from_fn(ni + 64, |i| {
+            if i < ni {
+                (pattern >> i) & 1 == 1
+            } else {
+                (high >> (i - ni)) & 1 == 1
+            }
+        });
+        let as_trits = |o: TernaryOutcome| match o {
+            TernaryOutcome::Definite(b) => TritVec::from_bits(&b),
+            TernaryOutcome::Uncertain(tv) => tv,
+        };
+        let tn = as_trits(ternary_settle(&narrow, narrow.initial_state(), pattern, &Injection::none()));
+        let tw = as_trits(ternary_settle(&wide, wide.initial_state(), &wp, &Injection::none()));
+        for &(i, j) in &map {
+            prop_assert_eq!(tn.0[i], tw.0[j], "ternary signal {}", i);
+        }
+
+        // The 64-lane plane engine on the padded circuit agrees with its
+        // own scalar run (multi-word plane state).
+        let pinj = ParallelInjection::new(&[Injection::none()]);
+        let par = parallel_settle(&wide, &PlaneState::broadcast(wide.initial_state()), &wp, &pinj);
+        for i in 0..wide.num_state_bits() {
+            prop_assert_eq!(par.trit(i, 0), tw.0[i], "parallel signal {}", i);
+        }
+
+        // Exhaustive interleavings: quiescent padding (the extra pins
+        // hold their reset value, so their buffers never fire) keeps the
+        // interleaving space identical.  Same k for both runs so the
+        // classification is compared like for like.
+        let cfg = exact_cfg(&narrow);
+        let wq = Pattern::from_fn(ni + 64, |i| i < ni && (pattern >> i) & 1 == 1);
+        let en = settle_explicit(&narrow, narrow.initial_state(), pattern, &Injection::none(), &cfg);
+        let ew = settle_explicit(&wide, wide.initial_state(), &wq, &Injection::none(), &cfg);
+        let shadow_n = |states: &[Bits]| {
+            let mut v: Vec<Vec<bool>> = states
+                .iter()
+                .map(|s| map.iter().map(|&(i, _)| s.get(i)).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        let shadow_w = |states: &[Bits]| {
+            let mut v: Vec<Vec<bool>> = states
+                .iter()
+                .map(|s| map.iter().map(|&(_, j)| s.get(j)).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        match (en, ew) {
+            (Settle::Confluent(a), Settle::Confluent(b)) => {
+                for &(i, j) in &map {
+                    prop_assert_eq!(a.get(i), b.get(j), "confluent signal {}", i);
+                }
+            }
+            (Settle::NonConfluent(a), Settle::NonConfluent(b))
+            | (Settle::Unstable(a), Settle::Unstable(b)) => {
+                prop_assert_eq!(shadow_n(&a), shadow_w(&b));
+            }
+            (Settle::Truncated, Settle::Truncated) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "classification diverged: narrow {a:?} vs padded {b:?}"
+                )));
+            }
         }
     }
 }

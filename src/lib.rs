@@ -44,7 +44,7 @@ pub mod prelude {
         FaultStatus, Phase, RandomTpgConfig, TestSequence, ThreePhaseConfig, Verdict,
     };
     pub use satpg_engine::{run_engine, EngineConfig, EngineReport, WorkerStats};
-    pub use satpg_netlist::{Bits, Circuit, CircuitBuilder, GateKind};
+    pub use satpg_netlist::{pattern_count, Bits, Circuit, CircuitBuilder, GateKind, Pattern};
     pub use satpg_sim::{
         settle_explicit, ternary_settle, CapPolicy, ExplicitConfig, Injection, Settle, SettleStats,
         Settler, SettlerConfig, Site, TernaryOutcome,

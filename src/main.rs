@@ -24,7 +24,7 @@ use satpg::core::report::{format_table, TableRow};
 use satpg::core::tester::TestProgram;
 use satpg::core::{
     build_cssg_sharded, run_atpg, run_atpg_on, AtpgConfig, CapPolicy, CoreError, CssgConfig,
-    FaultModel, ThreePhaseConfig,
+    FaultModel, RandomTpgConfig, ThreePhaseConfig,
 };
 use satpg::engine::{run_engine, EngineConfig};
 use satpg::netlist::{parse_ckt, to_ckt, Circuit};
@@ -45,14 +45,16 @@ fn usage() -> ExitCode {
            cssg  <bench> [--style si|2l|2lr] [--k N] [--cssg-shards N] [--no-por]\n          \
                   [--settle-cap N] [--settle-threads N]\n  \
            atpg  <bench> [--style si|2l|2lr] [--output-model] [--collapse] [--no-random]\n          \
-                  [--program] [--json] [--cssg-shards N] [--no-por] [--settle-cap N]\n          \
-                  [--settle-threads N]\n  \
+                  [--pp-random] [--pattern-budget N] [--program] [--json] [--cssg-shards N]\n          \
+                  [--no-por] [--settle-cap N] [--settle-threads N]\n  \
            scan  <bench> [--style si|2l|2lr]\n  \
            table <1|2>\n  \
            dot   <bench> [--style si|2l|2lr]\n  \
            gen   <muller|dme|arbiter|seq> [--size K]\n  \
            engine <bench|-> [--style si|2l|2lr] [--k N] [--workers N] [--output-model]\n          \
                   [--collapse] [--no-random] [--no-broadcast] [--no-audit] [--json]\n          \
+                  [--pp-random]       # random stage: 64 patterns per pass, 1 fault\n          \
+                  [--pattern-budget N]# per-state CSSG pattern cap (needed past 63 inputs)\n          \
                   [--gc-threshold N]  # sweep worker BDDs above N live nodes\n          \
                   [--cssg-shards N]   # parallel CSSG build (0 = worker count)\n          \
                   [--no-por]          # naive interleaving walks (no reduction)\n          \
@@ -76,6 +78,8 @@ struct Opts {
     output_model: bool,
     collapse: bool,
     no_random: bool,
+    pp_random: bool,
+    pattern_budget: Option<u64>,
     program: bool,
     workers: usize,
     size: Option<usize>,
@@ -102,6 +106,8 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         output_model: false,
         collapse: false,
         no_random: false,
+        pp_random: false,
+        pattern_budget: None,
         program: false,
         workers: 0,
         size: None,
@@ -127,6 +133,8 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--output-model" => o.output_model = true,
             "--collapse" => o.collapse = true,
             "--no-random" => o.no_random = true,
+            "--pp-random" => o.pp_random = true,
+            "--pattern-budget" => o.pattern_budget = Some(it.next()?.parse().ok()?),
             "--program" => o.program = true,
             "--workers" => o.workers = it.next()?.parse().ok()?,
             "--size" => o.size = Some(it.next()?.parse().ok()?),
@@ -163,6 +171,7 @@ fn cssg_config(o: &Opts) -> CssgConfig {
     let mut cfg = CssgConfig {
         k: o.k,
         settle_threads: o.settle_threads,
+        pattern_budget: o.pattern_budget,
         ..CssgConfig::default()
     };
     if o.no_por {
@@ -175,6 +184,15 @@ fn cssg_config(o: &Opts) -> CssgConfig {
 }
 
 /// [`ThreePhaseConfig::scaled`] with the settle flags applied.
+/// The random-TPG stage the flags induce: disabled by `--no-random`,
+/// switched to the 64-pattern-per-pass lane layout by `--pp-random`.
+fn random_config(o: &Opts) -> Option<RandomTpgConfig> {
+    (!o.no_random).then(|| RandomTpgConfig {
+        pattern_parallel: o.pp_random,
+        ..RandomTpgConfig::default()
+    })
+}
+
 fn three_phase_config(o: &Opts, ckt: &Circuit) -> ThreePhaseConfig {
     let mut cfg = ThreePhaseConfig::scaled(ckt);
     if o.no_por {
@@ -213,8 +231,8 @@ fn generate(family: &str, size: Option<usize>) -> Result<Circuit, String> {
         }
     };
     match family {
-        "muller" => Ok(nf::muller_pipeline(size_in(size, 4, 1, 64)?)),
-        "arbiter" => Ok(nf::arbiter_tree(size_in(size, 4, 2, 62)?)),
+        "muller" => Ok(nf::muller_pipeline(size_in(size, 4, 1, 128)?)),
+        "arbiter" => Ok(nf::arbiter_tree(size_in(size, 4, 2, 128)?)),
         "dme" => {
             let stg = sf::dme_ring(size_in(size, 3, 2, 6)?).map_err(|e| e.to_string())?;
             let sg = StateGraph::build(&stg).map_err(|e| e.to_string())?;
@@ -318,11 +336,7 @@ fn main() -> ExitCode {
             let cfg = EngineConfig {
                 atpg: AtpgConfig {
                     cssg: cssg_config(&o),
-                    random: if o.no_random {
-                        None
-                    } else {
-                        Some(Default::default())
-                    },
+                    random: random_config(&o),
                     fault_model: if o.output_model {
                         FaultModel::OutputStuckAt
                     } else {
@@ -459,11 +473,7 @@ fn main() -> ExitCode {
                 "atpg" => {
                     let cfg = AtpgConfig {
                         cssg: cssg_config(&o),
-                        random: if o.no_random {
-                            None
-                        } else {
-                            Some(Default::default())
-                        },
+                        random: random_config(&o),
                         fault_model: if o.output_model {
                             FaultModel::OutputStuckAt
                         } else {
@@ -602,7 +612,9 @@ fn service_command(cmd: &str, o: &Opts) -> ExitCode {
                 output_model: o.output_model,
                 collapse: o.collapse,
                 no_random: o.no_random,
+                pp_random: o.pp_random,
                 k: o.k,
+                pattern_budget: o.pattern_budget,
             };
             let mut client = match Client::connect(&o.addr) {
                 Ok(c) => c,

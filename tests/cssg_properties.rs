@@ -37,7 +37,7 @@ fn symbolic_matches_explicit_across_suite() {
             let to_states = |g: &Cssg, i: usize| {
                 g.edges(i)
                     .iter()
-                    .map(|&(p, t)| (p, g.states()[t].clone()))
+                    .map(|(p, t)| (p.clone(), g.states()[*t].clone()))
                     .collect::<Vec<_>>()
             };
             assert_eq!(to_states(&explicit, si), to_states(&symbolic, sj), "{name}");
@@ -58,21 +58,21 @@ fn cssg_edges_are_exactly_the_valid_vectors() {
         };
         for si in 0..cssg.num_states() {
             let state = &cssg.states()[si];
-            for pattern in 0..(1 << ckt.num_inputs()) {
+            for pattern in Pattern::all(ckt.num_inputs()) {
                 if pattern == ckt.input_pattern(state) {
                     continue;
                 }
-                let settle = settle_explicit(&ckt, state, pattern, &Injection::none(), &cfg);
-                match cssg.successor(si, pattern) {
+                let settle = settle_explicit(&ckt, state, &pattern, &Injection::none(), &cfg);
+                match cssg.successor(si, &pattern) {
                     Some(t) => {
                         let expect = settle.confluent().unwrap_or_else(|| {
-                            panic!("{name}: edge on non-confluent pattern {pattern:b}")
+                            panic!("{name}: edge on non-confluent pattern {pattern}")
                         });
                         assert_eq!(expect, &cssg.states()[t], "{name}");
                     }
                     None => assert!(
                         !settle.is_valid(),
-                        "{name}: valid pattern {pattern:b} missing from CSSG"
+                        "{name}: valid pattern {pattern} missing from CSSG"
                     ),
                 }
             }

@@ -49,6 +49,10 @@ struct Sample {
     json: String,
     untestable: usize,
     truncated: usize,
+    /// Patterns dropped by a per-state budget ([`Cssg::patterns_skipped`]).
+    /// Exhaustive configurations must report 0 — a non-zero value means
+    /// the sweep silently covered fewer patterns than it claims.
+    skipped: u64,
     efficiency: f64,
 }
 
@@ -93,6 +97,7 @@ fn measure(size: usize, shards: usize) -> Sample {
                 json: line.render(),
                 untestable: 0,
                 truncated: 0,
+                skipped: 0,
                 // A failed build counts as 0% so the ≤ 22 regression
                 // gate below trips on it.
                 efficiency: 0.0,
@@ -106,6 +111,7 @@ fn measure(size: usize, shards: usize) -> Sample {
         "{{\"bench\":\"muller_coverage_sweep\",\"size\":{size},\
          \"faults\":{},\"detected\":{},\"untestable\":{},\"aborted\":{},\
          \"cssg_states\":{},\"cssg_edges\":{},\"pruned_truncated\":{},\
+         \"patterns_skipped\":{},\
          \"settle_states\":{},\"por_pruned\":{},\
          \"coverage_pct\":{:.2},\"efficiency_pct\":{:.2},\"us_total\":{}}}",
         report.total(),
@@ -115,6 +121,7 @@ fn measure(size: usize, shards: usize) -> Sample {
         cssg.num_states(),
         cssg.num_edges(),
         cssg.pruned_truncated(),
+        cssg.patterns_skipped(),
         cssg.settle_stats().states_explored,
         cssg.settle_stats().por_pruned,
         report.coverage(),
@@ -127,6 +134,7 @@ fn measure(size: usize, shards: usize) -> Sample {
         json,
         untestable: report.untestable(),
         truncated: cssg.pruned_truncated(),
+        skipped: cssg.patterns_skipped(),
         efficiency,
     }
 }
@@ -157,6 +165,15 @@ fn muller_coverage_truncation_sweep() {
                 sample.efficiency
             );
         }
+        // The default config carries no pattern budget, so the sweep is
+        // exhaustive by contract at *every* size: any skipped pattern
+        // is a silent shortfall, not a data point.
+        assert_eq!(
+            sample.skipped, 0,
+            "muller-{size}: {} patterns silently skipped under the default \
+             (exhaustive) config",
+            sample.skipped
+        );
         if sample.untestable > 0 {
             if sample.truncated > 0 {
                 // Consistent with the truncation-artifact hypothesis.
