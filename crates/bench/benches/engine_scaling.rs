@@ -4,12 +4,16 @@
 //!
 //! Run with `cargo bench -p satpg-bench --bench engine_scaling`.
 //! Besides the human-readable table, one JSON line per measurement goes
-//! to stdout and the full trajectory is written to
-//! `target/engine_scaling.json` for the bench-tracking tooling.
+//! to stdout, the full trajectory is written to
+//! `target/engine_scaling.json`, and the durable `{bench, params,
+//! value, unit}` records land in `target/bench_report.json` — the
+//! input of `satpg bench-diff`.  `SATPG_BENCH_QUICK=1` shrinks every
+//! workload so CI can regenerate a comparable report in seconds.
 //!
 //! Random TPG is disabled so every fault class reaches the parallel
 //! targeted phase — the component whose scaling is under test.
 
+use satpg_bench::report::{quick_mode, record, write_report, BenchRecord};
 use satpg_core::{
     build_cssg, build_cssg_sharded, faults_for, random_tpg, AtpgConfig, CapPolicy, CssgConfig,
     FaultModel, RandomTpgConfig,
@@ -27,7 +31,13 @@ fn dme_circuit(cells: usize) -> Circuit {
     complex_gate(&stg, &sg).expect("generated ring synthesizes")
 }
 
-fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, String) {
+fn measure(
+    label: &str,
+    ckt: &Circuit,
+    workers: usize,
+    reps: u32,
+    records: &mut Vec<BenchRecord>,
+) -> (u128, String) {
     let cfg = EngineConfig {
         atpg: AtpgConfig {
             random: None,
@@ -42,14 +52,15 @@ fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, Stri
         settle_por: true,
         settle_cap: None,
     };
-    // Warm-up, then best-of-`reps` wall clock.
+    // Warm-up, then best-of-`reps` wall clock.  With `reps == 0`
+    // (quick mode) the single run doubles as the measurement.
     let mut best = u128::MAX;
     let mut last = None;
     for _ in 0..=reps {
         let t = Instant::now();
         let out = run_engine(ckt, &cfg).expect("engine runs");
         let us = t.elapsed().as_micros();
-        if last.is_some() {
+        if last.is_some() || reps == 0 {
             best = best.min(us);
         }
         last = Some(out);
@@ -64,13 +75,36 @@ fn measure(label: &str, ckt: &Circuit, workers: usize, reps: u32) -> (u128, Stri
         out.parallel_verdicts,
         out.merge_fallbacks,
     );
+    records.push(record(
+        "engine_scaling",
+        format!("{label}/w{workers}"),
+        best as f64,
+        "us",
+    ));
+    records.push(record(
+        "engine_scaling",
+        format!("{label}/w{workers}/coverage"),
+        out.report.coverage(),
+        "pct",
+    ));
+    records.push(record(
+        "engine_scaling",
+        format!("{label}/w{workers}/verdicts"),
+        out.parallel_verdicts as f64,
+        "count",
+    ));
     (best, json)
 }
 
 /// Memory-policy probe: the same audited campaign under immortal nodes
 /// vs a GC'd worker manager, reporting the peak BDD unique-table size
 /// (the before/after figure for the reclamation work).
-fn measure_memory(label: &str, ckt: &Circuit, gc_threshold: Option<usize>) -> String {
+fn measure_memory(
+    label: &str,
+    ckt: &Circuit,
+    gc_threshold: Option<usize>,
+    records: &mut Vec<BenchRecord>,
+) -> String {
     let cfg = EngineConfig {
         atpg: AtpgConfig {
             random: None,
@@ -98,6 +132,12 @@ fn measure_memory(label: &str, ckt: &Circuit, gc_threshold: Option<usize>) -> St
         Some(t) => format!("gc{t}"),
         None => "immortal".to_string(),
     };
+    records.push(record(
+        "engine_memory",
+        format!("{label}/{policy}"),
+        peak as f64,
+        "nodes",
+    ));
     format!(
         "{{\"bench\":\"engine_memory\",\"workload\":\"{label}\",\"policy\":\"{policy}\",\
          \"bdd_peak_unique\":{peak},\"bdd_reclaimed\":{reclaimed},\"gc_sweeps\":{sweeps}}}"
@@ -107,7 +147,13 @@ fn measure_memory(label: &str, ckt: &Circuit, gc_threshold: Option<usize>) -> St
 /// Sharded-CSSG-construction probe: wall clock of
 /// [`build_cssg_sharded`] vs shard count, on the workload whose serial
 /// build dominates engine start-up (a deep Muller pipeline).
-fn measure_cssg_shards(label: &str, ckt: &Circuit, shards: usize, reps: u32) -> (u128, String) {
+fn measure_cssg_shards(
+    label: &str,
+    ckt: &Circuit,
+    shards: usize,
+    reps: u32,
+    records: &mut Vec<BenchRecord>,
+) -> (u128, String) {
     let cfg = CssgConfig::default();
     let mut best = u128::MAX;
     let mut last = None;
@@ -115,7 +161,7 @@ fn measure_cssg_shards(label: &str, ckt: &Circuit, shards: usize, reps: u32) -> 
         let t = Instant::now();
         let cssg = build_cssg_sharded(ckt, &cfg, shards).expect("CSSG builds");
         let us = t.elapsed().as_micros();
-        if last.is_some() {
+        if last.is_some() || reps == 0 {
             best = best.min(us);
         }
         last = Some(cssg);
@@ -128,6 +174,18 @@ fn measure_cssg_shards(label: &str, ckt: &Circuit, shards: usize, reps: u32) -> 
         cssg.num_edges(),
         cssg.pruned_truncated(),
     );
+    records.push(record(
+        "cssg_shard_scaling",
+        format!("{label}/s{shards}"),
+        best as f64,
+        "us",
+    ));
+    records.push(record(
+        "cssg_shard_scaling",
+        format!("{label}/s{shards}/states"),
+        cssg.num_states() as f64,
+        "states",
+    ));
     (best, json)
 }
 
@@ -136,7 +194,12 @@ fn measure_cssg_shards(label: &str, ckt: &Circuit, shards: usize, reps: u32) -> 
 /// explored-vs-saved ledger.  The `legacy` policy is the pre-PR-5
 /// configuration (naive walk, fixed 2^15 cap) whose truncation the
 /// coverage sweep measured; `por` is the current default.
-fn measure_settler(size: usize, por: bool, reps: u32) -> (u128, String) {
+fn measure_settler(
+    size: usize,
+    por: bool,
+    reps: u32,
+    records: &mut Vec<BenchRecord>,
+) -> (u128, String) {
     let ckt = nf::muller_pipeline(size);
     let cfg = if por {
         CssgConfig::default()
@@ -153,7 +216,7 @@ fn measure_settler(size: usize, por: bool, reps: u32) -> (u128, String) {
         let t = Instant::now();
         let cssg = build_cssg(&ckt, &cfg).expect("CSSG builds");
         let us = t.elapsed().as_micros();
-        if last.is_some() {
+        if last.is_some() || reps == 0 {
             best = best.min(us);
         }
         last = Some(cssg);
@@ -174,6 +237,19 @@ fn measure_settler(size: usize, por: bool, reps: u32) -> (u128, String) {
         ss.por_pruned,
         ss.por_pruned as f64 / naive_equiv.max(1) as f64,
     );
+    let policy = if por { "por" } else { "legacy" };
+    records.push(record(
+        "settler_scaling",
+        format!("muller_pipe{size}/{policy}"),
+        best as f64,
+        "us",
+    ));
+    records.push(record(
+        "settler_scaling",
+        format!("muller_pipe{size}/{policy}/settle_states"),
+        ss.states_explored as f64,
+        "states",
+    ));
     (best, json)
 }
 
@@ -182,7 +258,13 @@ fn measure_settler(size: usize, por: bool, reps: u32) -> (u128, String) {
 /// settling pass against one broadcast fault).  The JSON line carries
 /// the stage's own telemetry — `patterns_evaluated / passes` is the
 /// measured per-pass pattern parallelism (64 in pattern-per-bit mode).
-fn measure_random(label: &str, ckt: &Circuit, pattern_parallel: bool, reps: u32) -> (u128, String) {
+fn measure_random(
+    label: &str,
+    ckt: &Circuit,
+    pattern_parallel: bool,
+    reps: u32,
+    records: &mut Vec<BenchRecord>,
+) -> (u128, String) {
     let cssg = build_cssg(ckt, &CssgConfig::default()).expect("CSSG builds");
     let faults = faults_for(ckt, FaultModel::InputStuckAt);
     let cfg = RandomTpgConfig {
@@ -195,7 +277,7 @@ fn measure_random(label: &str, ckt: &Circuit, pattern_parallel: bool, reps: u32)
         let t = Instant::now();
         let res = random_tpg(ckt, &cssg, &faults, &cfg);
         let us = t.elapsed().as_micros();
-        if last.is_some() {
+        if last.is_some() || reps == 0 {
             best = best.min(us);
         }
         last = Some(res);
@@ -217,31 +299,75 @@ fn measure_random(label: &str, ckt: &Circuit, pattern_parallel: bool, reps: u32)
         stats.patterns_evaluated,
         stats.patterns_evaluated as f64 / stats.passes.max(1) as f64,
     );
+    let mode = if pattern_parallel {
+        "ppsfp"
+    } else {
+        "fault_per_lane"
+    };
+    records.push(record(
+        "random_stage",
+        format!("{label}/{mode}"),
+        best as f64,
+        "us",
+    ));
+    records.push(record(
+        "random_stage",
+        format!("{label}/{mode}/covered"),
+        covered as f64,
+        "count",
+    ));
     (best, json)
 }
 
 fn main() {
-    let workloads: Vec<(&str, Circuit)> = vec![
-        ("dme_ring5", dme_circuit(5)),
-        ("muller_pipe8", nf::muller_pipeline(8)),
-        ("arbiter5", nf::arbiter_tree(5)),
-    ];
+    // `SATPG_BENCH_QUICK=1` (CI) shrinks every dimension: smaller
+    // circuits, fewer worker counts, no repetitions.  Record keys stay
+    // stable within a mode, so a quick report diffs against the
+    // committed quick baseline (`ci/bench_baseline.json`).
+    let quick = quick_mode();
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let workloads: Vec<(&str, Circuit)> = if quick {
+        vec![
+            ("dme_ring3", dme_circuit(3)),
+            ("muller_pipe6", nf::muller_pipeline(6)),
+            ("arbiter4", nf::arbiter_tree(4)),
+        ]
+    } else {
+        vec![
+            ("dme_ring5", dme_circuit(5)),
+            ("muller_pipe8", nf::muller_pipeline(8)),
+            ("arbiter5", nf::arbiter_tree(5)),
+        ]
+    };
+    let settler_cases: &[(usize, bool)] = if quick {
+        &[(10, true), (12, true), (10, false)]
+    } else {
+        &[
+            (16, true),
+            (18, true),
+            (19, true),
+            (20, true),
+            (22, true),
+            (16, false),
+            (19, false),
+        ]
+    };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let (shard_label, shard_size) = if quick {
+        ("muller_pipe10", 10)
+    } else {
+        ("muller_pipe16", 16)
+    };
+    let reps: u32 = if quick { 0 } else { 1 };
     let mut trajectory = String::from("[\n");
     let mut first = true;
 
     // Settling-engine scaling across the old muller truncation boundary:
     // POR at every size, the legacy naive/2^15 policy only where it is
     // affordable (its cost explodes past 18 — which is the point).
-    for (size, por) in [
-        (16usize, true),
-        (18, true),
-        (19, true),
-        (20, true),
-        (22, true),
-        (16, false),
-        (19, false),
-    ] {
-        let (best, json) = measure_settler(size, por, 1);
+    for &(size, por) in settler_cases {
+        let (best, json) = measure_settler(size, por, reps, &mut records);
         println!(
             "bench settler_scaling/muller_pipe{size}/{} {best:>10} us",
             if por { "por   " } else { "legacy" }
@@ -258,7 +384,7 @@ fn main() {
     // pattern-per-bit on each engine workload.
     for (label, ckt) in &workloads {
         for pp in [false, true] {
-            let (best, json) = measure_random(label, ckt, pp, 2);
+            let (best, json) = measure_random(label, ckt, pp, reps, &mut records);
             println!(
                 "bench random_stage/{label}/{} {best:>10} us",
                 if pp { "ppsfp " } else { "lanes " }
@@ -273,16 +399,16 @@ fn main() {
     }
 
     // CSSG construction scaling on the build-bound workload.
-    let shard_ckt = nf::muller_pipeline(16);
+    let shard_ckt = nf::muller_pipeline(shard_size);
     let mut shard_base = 0u128;
-    for shards in [1usize, 2, 4] {
-        let (best, json) = measure_cssg_shards("muller_pipe16", &shard_ckt, shards, 2);
+    for &shards in shard_counts {
+        let (best, json) = measure_cssg_shards(shard_label, &shard_ckt, shards, reps, &mut records);
         if shards == 1 {
             shard_base = best;
         }
         let speedup = shard_base as f64 / best.max(1) as f64;
         println!(
-            "bench cssg_shard_scaling/muller_pipe16/s{shards:<2} {best:>10} us  (speedup x{speedup:.2})"
+            "bench cssg_shard_scaling/{shard_label}/s{shards:<2} {best:>10} us  (speedup x{speedup:.2})"
         );
         println!("{json}");
         if !first {
@@ -293,8 +419,8 @@ fn main() {
     }
     for (label, ckt) in &workloads {
         let mut base_us = 0u128;
-        for workers in [1usize, 2, 4, 8] {
-            let (best, json) = measure(label, ckt, workers, 3);
+        for &workers in worker_counts {
+            let (best, json) = measure(label, ckt, workers, reps, &mut records);
             if workers == 1 {
                 base_us = best;
             }
@@ -310,7 +436,7 @@ fn main() {
             let _ = write!(trajectory, "  {json}");
         }
         for gc in [None, Some(1usize << 10)] {
-            let json = measure_memory(label, ckt, gc);
+            let json = measure_memory(label, ckt, gc, &mut records);
             println!("{json}");
             trajectory.push_str(",\n");
             let _ = write!(trajectory, "  {json}");
@@ -325,5 +451,10 @@ fn main() {
     match std::fs::write(&out, &trajectory) {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+    let report = path.join("bench_report.json");
+    match write_report(&records, &report) {
+        Ok(()) => println!("wrote {} ({} records)", report.display(), records.len()),
+        Err(e) => eprintln!("could not write {}: {e}", report.display()),
     }
 }

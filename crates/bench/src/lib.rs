@@ -10,6 +10,8 @@
 //!   of the CSSG to the test-cycle bound `k` (§4.1);
 //! * `cargo bench` — Criterion benches for the substrates.
 
+pub mod report;
+
 use satpg_core::report::TableRow;
 use satpg_core::{run_atpg, AtpgConfig, AtpgReport, FaultModel};
 use satpg_netlist::Circuit;

@@ -1,0 +1,94 @@
+//! Durable perf records: bench runs emit `{bench, params, value, unit}`
+//! records and write them to `target/bench_report.json`, the input
+//! format of `satpg bench-diff`.
+//!
+//! A record's identity for diffing is `(bench, params, unit)` — two
+//! runs are comparable exactly when they used the same workloads, which
+//! the `SATPG_BENCH_QUICK` switch keeps stable within a mode (diff
+//! quick against quick, full against full).
+
+use satpg_core::json::Json;
+use std::io;
+use std::path::Path;
+
+/// One measured value of one configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark family (e.g. `engine_scaling`, `settler_scaling`).
+    pub bench: String,
+    /// Configuration within the family (e.g. `dme_ring5/w4`).
+    pub params: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit: `us` (wall clock — skipped by `bench-diff
+    /// --ignore-timing`), `pct` (higher is better), or a deterministic
+    /// count (`states`, `nodes`, `count`, ...).
+    pub unit: String,
+}
+
+/// Shorthand constructor.
+pub fn record(bench: &str, params: impl Into<String>, value: f64, unit: &str) -> BenchRecord {
+    BenchRecord {
+        bench: bench.to_string(),
+        params: params.into(),
+        value,
+        unit: unit.to_string(),
+    }
+}
+
+/// Whether `SATPG_BENCH_QUICK` asks for the shrunk CI workloads.
+pub fn quick_mode() -> bool {
+    std::env::var("SATPG_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Renders records as the `bench_report.json` array.
+pub fn render(records: &[BenchRecord]) -> String {
+    Json::Arr(
+        records
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("bench".to_string(), Json::str(&r.bench)),
+                    ("params".to_string(), Json::str(&r.params)),
+                    ("value".to_string(), Json::Float(r.value)),
+                    ("unit".to_string(), Json::str(&r.unit)),
+                ])
+            })
+            .collect(),
+    )
+    .render()
+}
+
+/// Writes the report, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_report(records: &[BenchRecord], path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, render(records) + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let recs = vec![
+            record("engine_scaling", "dme_ring5/w4", 1234.0, "us"),
+            record("engine_scaling", "dme_ring5/w4/coverage", 99.5, "pct"),
+        ];
+        let v = Json::parse(&render(&recs)).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("bench").unwrap().as_str(),
+            Some("engine_scaling")
+        );
+        assert_eq!(arr[0].get("value").unwrap().as_f64(), Some(1234.0));
+        assert_eq!(arr[1].get("unit").unwrap().as_str(), Some("pct"));
+    }
+}

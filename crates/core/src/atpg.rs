@@ -240,11 +240,13 @@ pub fn run_atpg_on(
 
     let t1 = Instant::now();
     if let Some(rnd_cfg) = &cfg.random {
+        let _span = satpg_trace::span!("stage.random", classes = plan.len());
         random_stage(ckt, cssg, &plan, rnd_cfg, &mut state);
     }
     let us_random = t1.elapsed().as_micros();
 
     let t2 = Instant::now();
+    let _span = satpg_trace::span!("stage.targeted", open = state.open_classes().len());
     let queue: Vec<usize> = (0..plan.len()).collect();
     targeted_stage(
         ckt,

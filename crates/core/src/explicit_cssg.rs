@@ -121,6 +121,12 @@ fn skipped_per_state(num_inputs: usize, budget: Option<u64>) -> u64 {
 pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
     validate(ckt, cfg)?;
     let scfg = cfg.settler(ckt);
+    let _span = satpg_trace::span!(
+        "cssg.build",
+        circuit = ckt.name(),
+        gates = ckt.num_gates(),
+        k = scfg.k
+    );
     let mut settler = Settler::new(ckt, &Injection::none(), &scfg);
     let mut cssg = Cssg::new(ckt.num_inputs(), scfg.k);
     let root = cssg.intern(ckt.initial_state().clone());
@@ -162,7 +168,23 @@ pub fn build_cssg(ckt: &Circuit, cfg: &CssgConfig) -> Result<Cssg> {
     let skip = skipped_per_state(ckt.num_inputs(), cfg.pattern_budget);
     cssg.note_patterns_skipped(skip.saturating_mul(cssg.num_states() as u64));
     cssg.sort_edges();
+    note_build_metrics(&cssg, settler.stats());
     Ok(cssg)
+}
+
+/// Feeds one completed build's telemetry into the process metrics
+/// registry (`cssg.*`, `settler.*`).  Write-only: nothing here is ever
+/// read back into a build.
+fn note_build_metrics(cssg: &Cssg, settle: &SettleStats) {
+    let m = satpg_trace::metrics();
+    m.counter("cssg.builds").inc();
+    m.counter("cssg.patterns_skipped")
+        .add(cssg.patterns_skipped());
+    m.gauge("cssg.last_patterns_skipped")
+        .set(cssg.patterns_skipped().min(i64::MAX as u64) as i64);
+    m.histogram("cssg.states").record(cssg.num_states() as u64);
+    m.histogram("cssg.edges").record(cssg.num_edges() as u64);
+    settle.flush_metrics();
 }
 
 /// Shared exploration state of the sharded builder: the global intern
@@ -291,6 +313,14 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
     }
     validate(ckt, cfg)?;
     let scfg = cfg.settler(ckt);
+    let build_span = satpg_trace::span!(
+        "cssg.build",
+        circuit = ckt.name(),
+        gates = ckt.num_gates(),
+        k = scfg.k,
+        shards = shards
+    );
+    let build_span_id = build_span.id();
     let mut explore = Explore {
         index: HashMap::new(),
         states: Vec::new(),
@@ -302,9 +332,16 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
     let shared = Mutex::new(explore);
     let work_cv = Condvar::new();
 
+    let scfg_ref = &scfg;
+    let shared_ref = &shared;
+    let cv_ref = &work_cv;
     let results: Vec<ShardResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
-            .map(|_| scope.spawn(|| shard_loop(ckt, &scfg, cfg, &shared, &work_cv)))
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard_loop(ckt, scfg_ref, cfg, shared_ref, cv_ref, shard, build_span_id)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -316,6 +353,7 @@ pub fn build_cssg_sharded(ckt: &Circuit, cfg: &CssgConfig, shards: usize) -> Res
     if explore.overflow {
         return Err(CoreError::CssgOverflow(cfg.max_states));
     }
+    let _merge_span = satpg_trace::span!("cssg.merge", states = explore.states.len());
     merge_shards(ckt, &scfg, cfg, explore, &results)
 }
 
@@ -327,7 +365,17 @@ fn shard_loop(
     cfg: &CssgConfig,
     shared: &Mutex<Explore>,
     work_cv: &Condvar,
+    shard: usize,
+    parent_span: u64,
 ) -> ShardResult {
+    // The shard's span parents under the build span on the spawning
+    // thread; recording stays in this thread's private buffer, so
+    // shards never synchronize through the tracer.
+    let _span = satpg_trace::Span::enter_with_parent(
+        "cssg.shard",
+        parent_span,
+        vec![("shard", satpg_trace::ArgValue::from(shard))],
+    );
     // Each shard runs its own settling engine: the interleaving-set
     // tracking (and the POR bookkeeping) is thread-private, so the
     // expensive analyses never contend on the exploration lock.
@@ -463,6 +511,7 @@ fn merge_shards(
     let skip = skipped_per_state(ckt.num_inputs(), cfg.pattern_budget);
     cssg.note_patterns_skipped(skip.saturating_mul(cssg.num_states() as u64));
     cssg.sort_edges();
+    note_build_metrics(&cssg, cssg.settle_stats());
     Ok(cssg)
 }
 

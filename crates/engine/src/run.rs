@@ -242,9 +242,11 @@ pub struct WorkerStats {
 
 impl WorkerStats {
     /// The machine-readable form (used by `--json` output and the
-    /// service telemetry stream).
-    pub fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+    /// service telemetry stream).  `us_busy` is wall clock, so it is
+    /// only present when `include_timing` asks for it — the timing-free
+    /// form must be byte-identical across runs.
+    pub fn to_json_value(&self, include_timing: bool) -> Json {
+        let mut fields = vec![
             ("worker".to_string(), Json::int(self.worker)),
             ("searched".to_string(), Json::int(self.searched)),
             ("stolen".to_string(), Json::int(self.stolen)),
@@ -275,8 +277,11 @@ impl WorkerStats {
                 "settle_fallbacks".to_string(),
                 Json::int(self.settle_fallbacks),
             ),
-            ("us_busy".to_string(), Json::int(self.us_busy)),
-        ])
+        ];
+        if include_timing {
+            fields.push(("us_busy".to_string(), Json::int(self.us_busy)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -307,7 +312,12 @@ impl EngineReport {
         let mut engine = vec![
             (
                 "workers".to_string(),
-                Json::Arr(self.workers.iter().map(|w| w.to_json_value()).collect()),
+                Json::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| w.to_json_value(include_timing))
+                        .collect(),
+                ),
             ),
             (
                 "parallel_verdicts".to_string(),
@@ -354,6 +364,11 @@ pub fn run_engine_streaming(
 ) -> Result<EngineReport, CoreError> {
     let cfg = &cfg.normalized();
     let shards = cfg.build_shards();
+    let _span = satpg_trace::span!(
+        "engine.run",
+        circuit = ckt.name(),
+        workers = cfg.requested_workers()
+    );
     let t0 = Instant::now();
     let cssg = build_cssg_sharded(ckt, &cfg.atpg.cssg, shards)?;
     let us_cssg = t0.elapsed().as_micros();
@@ -420,6 +435,7 @@ fn run_engine_built(
     // sets the shared baseline both drivers start the targeted loop from).
     let t1 = Instant::now();
     if let Some(rnd_cfg) = &cfg.atpg.random {
+        let _span = satpg_trace::span!("stage.random", classes = plan.len());
         random_stage(ckt, cssg, &plan, rnd_cfg, &mut state);
     }
     let us_random = t1.elapsed().as_micros();
@@ -438,6 +454,12 @@ fn run_engine_built(
     let broadcasts: RwLock<Vec<(usize, TestSequence)>> = RwLock::new(Vec::new());
 
     let t2 = Instant::now();
+    let parallel_span =
+        satpg_trace::span!("stage.parallel", workers = workers, pending = pending.len());
+    // Workers parent their spans under the stage span explicitly; each
+    // records into its own thread-local buffer, so tracing adds no
+    // cross-worker synchronization to the stealing schedule.
+    let parallel_span_id = parallel_span.id();
     let worker_stats: Vec<WorkerStats> = if pending.is_empty() {
         Vec::new()
     } else {
@@ -454,7 +476,16 @@ fn run_engine_built(
                     let plan = &plan;
                     scope.spawn(move || {
                         let stats = worker_loop(
-                            ckt, cssg, plan, cfg, w, queues, outcomes, broadcasts, sink,
+                            ckt,
+                            cssg,
+                            plan,
+                            cfg,
+                            w,
+                            queues,
+                            outcomes,
+                            broadcasts,
+                            sink,
+                            parallel_span_id,
                         );
                         sink.event(EngineEvent::WorkerDone {
                             stats: stats.clone(),
@@ -469,6 +500,7 @@ fn run_engine_built(
                 .collect()
         })
     };
+    drop(parallel_span);
     let us_parallel = t2.elapsed().as_micros();
     let parallel_verdicts = outcomes.iter().filter(|o| o.get().is_some()).count();
 
@@ -476,6 +508,7 @@ fn run_engine_built(
     // flow, consuming precomputed verdicts; a class skipped by a
     // broadcast drop but reached open here is recomputed on the spot.
     let t3 = Instant::now();
+    let merge_span = satpg_trace::span!("stage.merge", classes = plan.len());
     let mut merge_fallbacks = 0usize;
     let queue: Vec<usize> = (0..plan.len()).collect();
     targeted_stage(
@@ -493,11 +526,13 @@ fn run_engine_built(
             }
         },
     );
+    drop(merge_span);
     let us_merge = t3.elapsed().as_micros();
     sink.event(EngineEvent::MergeDone {
         fallbacks: merge_fallbacks,
         us: us_merge,
     });
+    flush_engine_metrics(&worker_stats, us_cssg, us_random, us_parallel, us_merge);
 
     let report = satpg_core::stages::assemble_report(
         ckt,
@@ -521,6 +556,48 @@ fn run_engine_built(
     }
 }
 
+/// Feeds one campaign's telemetry into the process metrics registry
+/// (`engine.*` counters/gauges, `stage.*.us` histograms).  Called once
+/// per run, after the merge — never from worker threads.
+fn flush_engine_metrics(
+    workers: &[WorkerStats],
+    us_cssg: u128,
+    us_random: u128,
+    us_parallel: u128,
+    us_merge: u128,
+) {
+    let m = satpg_trace::metrics();
+    m.counter("engine.runs").inc();
+    for w in workers {
+        m.counter("engine.searched").add(w.searched as u64);
+        m.counter("engine.stolen").add(w.stolen as u64);
+        m.counter("engine.tests_found").add(w.tests_found as u64);
+        m.counter("engine.broadcast_drops")
+            .add(w.broadcast_drops as u64);
+        m.counter("engine.audit_failures")
+            .add(w.audit_failures as u64);
+        m.counter("engine.bdd_gc_runs").add(w.bdd_gc_runs as u64);
+        m.counter("engine.bdd_reclaimed")
+            .add(w.bdd_reclaimed as u64);
+        m.counter("engine.settle_states").add(w.settle_states);
+        m.counter("engine.settle_por_pruned")
+            .add(w.settle_por_pruned);
+        m.counter("engine.settle_fallbacks").add(w.settle_fallbacks);
+        m.gauge("engine.bdd_peak_unique")
+            .max(w.bdd_peak_unique.min(i64::MAX as usize) as i64);
+        m.histogram("engine.worker.busy_us")
+            .record(w.us_busy.min(u64::MAX as u128) as u64);
+    }
+    m.histogram("stage.cssg.us")
+        .record(us_cssg.min(u64::MAX as u128) as u64);
+    m.histogram("stage.random.us")
+        .record(us_random.min(u64::MAX as u128) as u64);
+    m.histogram("stage.parallel.us")
+        .record(us_parallel.min(u64::MAX as u128) as u64);
+    m.histogram("stage.merge.us")
+        .record(us_merge.min(u64::MAX as u128) as u64);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     ckt: &Circuit,
@@ -532,8 +609,16 @@ fn worker_loop(
     outcomes: &[OnceLock<FaultStatus>],
     broadcasts: &RwLock<Vec<(usize, TestSequence)>>,
     sink: &dyn EngineSink,
+    parent_span: u64,
 ) -> WorkerStats {
     let t0 = Instant::now();
+    // The worker's span parents under the parallel stage explicitly
+    // (the stage span lives on the spawning thread's stack, not ours).
+    let _span = satpg_trace::Span::enter_with_parent(
+        "worker",
+        parent_span,
+        vec![("worker", satpg_trace::ArgValue::from(w))],
+    );
     let mut stats = WorkerStats {
         worker: w,
         ..WorkerStats::default()

@@ -50,11 +50,13 @@ impl CacheStats {
 
 /// A small LRU map: linear scan, counter-stamped recency.  Capacities
 /// are tens of entries, so O(n) lookups are irrelevant next to the
-/// seconds-scale work an entry saves.
+/// seconds-scale work an entry saves.  Every entry carries a caller-
+/// supplied byte weight so the daemon can report how much memory the
+/// cache is actually holding (the `netlist_cache_bytes` gauge).
 struct Lru<K, V> {
     cap: usize,
     tick: u64,
-    entries: Vec<(K, V, u64)>,
+    entries: Vec<(K, V, u64, usize)>,
     stats: CacheStats,
 }
 
@@ -70,8 +72,8 @@ impl<K: Eq, V: Clone> Lru<K, V> {
 
     fn get(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
-        match self.entries.iter_mut().find(|(k, _, _)| k == key) {
-            Some((_, v, used)) => {
+        match self.entries.iter_mut().find(|(k, _, _, _)| k == key) {
+            Some((_, v, used, _)) => {
                 *used = self.tick;
                 self.stats.hits += 1;
                 Some(v.clone())
@@ -88,15 +90,16 @@ impl<K: Eq, V: Clone> Lru<K, V> {
     fn peek(&self, key: &K) -> Option<V> {
         self.entries
             .iter()
-            .find(|(k, _, _)| k == key)
-            .map(|(_, v, _)| v.clone())
+            .find(|(k, _, _, _)| k == key)
+            .map(|(_, v, _, _)| v.clone())
     }
 
-    fn put(&mut self, key: K, value: V) {
+    fn put(&mut self, key: K, value: V, weight: usize) {
         self.tick += 1;
-        if let Some(slot) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _, _, _)| *k == key) {
             slot.1 = value;
             slot.2 = self.tick;
+            slot.3 = weight;
             return;
         }
         if self.entries.len() >= self.cap {
@@ -104,13 +107,19 @@ impl<K: Eq, V: Clone> Lru<K, V> {
                 .entries
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, (_, _, used))| *used)
+                .min_by_key(|(_, (_, _, used, _))| *used)
                 .map(|(i, _)| i)
                 .expect("cap >= 1 and len >= cap");
             self.entries.swap_remove(lru);
             self.stats.evictions += 1;
         }
-        self.entries.push((key, value, self.tick));
+        self.entries.push((key, value, self.tick, weight));
+    }
+
+    /// Bytes held across live entries (eviction subtracts implicitly;
+    /// the sum is O(entries), which is tens).
+    fn total_weight(&self) -> usize {
+        self.entries.iter().map(|(_, _, _, w)| *w).sum()
     }
 }
 
@@ -194,9 +203,10 @@ impl SessionCache {
         self.circuits.get(&key)
     }
 
-    /// Stores a parsed circuit.
-    pub fn put_circuit(&mut self, key: u64, ckt: Arc<Circuit>) {
-        self.circuits.put(key, ckt);
+    /// Stores a parsed circuit; `bytes` is the size of the canonical
+    /// text it was parsed from (the memory gauge's unit of account).
+    pub fn put_circuit(&mut self, key: u64, ckt: Arc<Circuit>, bytes: usize) {
+        self.circuits.put(key, ckt, bytes);
     }
 
     /// Looks up a CSSG by canonical-netlist hash and transition bound.
@@ -212,7 +222,20 @@ impl SessionCache {
 
     /// Stores a CSSG.
     pub fn put_cssg(&mut self, key: (u64, Option<usize>, u64), cssg: Arc<Cssg>) {
-        self.cssgs.put(key, cssg);
+        // Weight a CSSG by its edge table: 16 bytes per (state, pattern,
+        // successor) record approximates the dominant allocation.
+        let bytes = cssg.num_edges().saturating_mul(16);
+        self.cssgs.put(key, cssg, bytes);
+    }
+
+    /// Bytes of canonical netlist text held by the circuit level.
+    pub fn circuit_bytes(&self) -> usize {
+        self.circuits.total_weight()
+    }
+
+    /// Live entries in the CSSG level.
+    pub fn cssg_entries(&self) -> usize {
+        self.cssgs.entries.len()
     }
 
     /// Counters of the circuit-level cache.
@@ -257,10 +280,12 @@ mod tests {
     fn lru_counts_and_evicts() {
         let mut l: Lru<u64, u64> = Lru::new(2);
         assert_eq!(l.get(&1), None);
-        l.put(1, 10);
-        l.put(2, 20);
+        l.put(1, 10, 100);
+        l.put(2, 20, 50);
+        assert_eq!(l.total_weight(), 150);
         assert_eq!(l.get(&1), Some(10)); // touch 1 → 2 is now LRU
-        l.put(3, 30); // evicts 2
+        l.put(3, 30, 7); // evicts 2
+        assert_eq!(l.total_weight(), 107, "eviction releases the weight");
         assert_eq!(l.get(&2), None);
         assert_eq!(l.get(&1), Some(10));
         assert_eq!(l.get(&3), Some(30));
@@ -321,11 +346,13 @@ mod tests {
     fn session_cache_levels_are_independent() {
         let mut c = SessionCache::new(4);
         let ckt = Arc::new(satpg_netlist::library::c_element());
-        c.put_circuit(7, ckt.clone());
+        c.put_circuit(7, ckt.clone(), 123);
         assert!(c.get_circuit(7).is_some());
         assert!(c.get_cssg((7, None, 0)).is_none());
         assert_eq!(c.circuit_stats().hits, 1);
         assert_eq!(c.cssg_stats().misses, 1);
+        assert_eq!(c.circuit_bytes(), 123);
+        assert_eq!(c.cssg_entries(), 0);
         let v = c.to_json_value();
         assert_eq!(
             v.get("circuits")

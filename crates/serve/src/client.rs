@@ -170,6 +170,18 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("connection closed before status".into()))
     }
 
+    /// Fetches a snapshot of the daemon's process-wide metrics
+    /// registry (counters/gauges/histograms across every job it ran).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.send(&Request::Metrics)?;
+        self.next_event()?
+            .ok_or_else(|| ClientError::Protocol("connection closed before metrics".into()))
+    }
+
     /// Asks the daemon to shut down cleanly.
     ///
     /// # Errors

@@ -182,6 +182,10 @@ pub enum Request {
     Submit(Box<JobSpec>),
     /// Ask for scheduler/cache counters.
     Status,
+    /// Ask for a snapshot of the process-wide metrics registry
+    /// (counters, gauges, histograms accumulated across every job the
+    /// daemon has run — including jobs whose client disconnected).
+    Metrics,
     /// Stop accepting work and exit once running jobs finish.
     Shutdown,
 }
@@ -191,6 +195,7 @@ impl Request {
     pub fn to_json_value(&self) -> Json {
         match self {
             Request::Status => Json::Obj(vec![("cmd".to_string(), Json::str("status"))]),
+            Request::Metrics => Json::Obj(vec![("cmd".to_string(), Json::str("metrics"))]),
             Request::Shutdown => Json::Obj(vec![("cmd".to_string(), Json::str("shutdown"))]),
             Request::Submit(spec) => {
                 let mut m = vec![
@@ -240,6 +245,7 @@ impl Request {
             .ok_or("request must carry a string `cmd`")?;
         match cmd {
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => {
                 let circuit =
@@ -335,7 +341,7 @@ pub mod event {
     /// A worker finished; full per-worker telemetry.
     pub fn worker(job: u64, stats: &WorkerStats) -> Json {
         let mut m = base("worker", Some(job));
-        m.push(("stats".to_string(), stats.to_json_value()));
+        m.push(("stats".to_string(), stats.to_json_value(true)));
         Json::Obj(m)
     }
 
@@ -352,6 +358,63 @@ pub mod event {
     pub fn status(fields: Vec<(String, Json)>) -> Json {
         let mut m = base("status", None);
         m.extend(fields);
+        Json::Obj(m)
+    }
+
+    /// A frozen metrics-registry snapshot: counters and gauges as
+    /// name→value objects, histograms as `{count, sum, buckets}` with
+    /// `buckets` the non-empty `[index, count]` pairs of the fixed
+    /// log-2 layout (bucket `0` holds value `0`, bucket `i` holds
+    /// `[2^(i-1), 2^i)`).  Names stay sorted, so the rendering is
+    /// byte-stable for a given registry state.
+    pub fn metrics(snap: &satpg_trace::MetricsSnapshot) -> Json {
+        let mut m = base("metrics", None);
+        m.push((
+            "counters".to_string(),
+            Json::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::int(*v)))
+                    .collect(),
+            ),
+        ));
+        m.push((
+            "gauges".to_string(),
+            Json::Obj(
+                snap.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::int(*v)))
+                    .collect(),
+            ),
+        ));
+        m.push((
+            "histograms".to_string(),
+            Json::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|h| {
+                        (
+                            h.name.clone(),
+                            Json::Obj(vec![
+                                ("count".to_string(), Json::int(h.count)),
+                                ("sum".to_string(), Json::int(h.sum)),
+                                (
+                                    "buckets".to_string(),
+                                    Json::Arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|(b, n)| {
+                                                Json::Arr(vec![Json::int(*b), Json::int(*n)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
         Json::Obj(m)
     }
 
@@ -376,6 +439,7 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         round_trip(Request::Status);
+        round_trip(Request::Metrics);
         round_trip(Request::Shutdown);
         round_trip(Request::Submit(Box::new(JobSpec::new(
             CircuitSpec::Bench {
@@ -468,6 +532,37 @@ mod tests {
             event::shutdown_ok().get("shutdown").unwrap().as_bool(),
             Some(true)
         );
+    }
+
+    #[test]
+    fn metrics_event_renders_the_snapshot() {
+        let snap = satpg_trace::MetricsSnapshot {
+            counters: vec![("a.count".to_string(), 3)],
+            gauges: vec![("b.level".to_string(), -2)],
+            histograms: vec![satpg_trace::HistogramSnapshot {
+                name: "c.us".to_string(),
+                count: 2,
+                sum: 9,
+                buckets: vec![(2, 1), (4, 1)],
+            }],
+        };
+        let v = Json::parse(&event::metrics(&snap).render()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("metrics"));
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("a.count")
+                .unwrap()
+                .as_usize(),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("b.level"),
+            Some(&Json::Int(-2))
+        );
+        let h = v.get("histograms").unwrap().get("c.us").unwrap();
+        assert_eq!(h.get("count").unwrap().as_usize(), Some(2));
+        assert_eq!(h.get("sum").unwrap().as_usize(), Some(9));
     }
 
     #[test]

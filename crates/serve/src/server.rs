@@ -33,6 +33,7 @@ use satpg_engine::{run_engine_on_streaming, EngineConfig, EngineEvent, EngineSin
 use satpg_netlist::to_ckt;
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -53,6 +54,9 @@ pub struct ServeConfig {
     pub default_job_workers: usize,
     /// Default per-worker BDD GC threshold for jobs that do not set one.
     pub gc_threshold: Option<usize>,
+    /// Directory for per-job Chrome trace-event files; `None` leaves
+    /// the span collector uninstalled (spans cost one atomic load).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +68,7 @@ impl Default for ServeConfig {
             cache_entries: 64,
             default_job_workers: 0,
             gc_threshold: None,
+            trace_out: None,
         }
     }
 }
@@ -120,6 +125,11 @@ struct State {
     /// Max across jobs of the per-worker unique-table high-water mark:
     /// the daemon's RSS proxy for BDD memory.
     peak_bdd_nodes: AtomicUsize,
+    /// Telemetry events a job emitted after its client disconnected.
+    /// The events are lost (nowhere to send them) but the *count* is
+    /// not — `status` reports it, and the job's metrics still land in
+    /// the process registry regardless.
+    events_dropped: AtomicUsize,
     /// Connections currently forwarding an accepted job's event stream;
     /// shutdown waits for this to drain so a completed job's final
     /// report is not cut off by process exit.
@@ -159,9 +169,13 @@ impl Server {
             jobs_failed: AtomicUsize::new(0),
             jobs_rejected: AtomicUsize::new(0),
             peak_bdd_nodes: AtomicUsize::new(0),
+            events_dropped: AtomicUsize::new(0),
             streaming: AtomicUsize::new(0),
             started: Instant::now(),
         });
+        if state.cfg.trace_out.is_some() {
+            satpg_trace::install();
+        }
         Ok(Server { listener, state })
     }
 
@@ -227,6 +241,12 @@ fn pool_loop(state: &Arc<State>) {
             let mut q = state.queue.lock().expect("queue lock");
             loop {
                 if let Some(j) = q.pop_front() {
+                    // Gauge updated under the queue lock, like the
+                    // counter below: enqueue/dequeue serialize here, so
+                    // the gauge tracks the queue length exactly.
+                    satpg_trace::metrics()
+                        .gauge("serve.queue_depth")
+                        .set(q.len() as i64);
                     break j;
                 }
                 if state.shutdown.load(Ordering::SeqCst) {
@@ -243,22 +263,32 @@ fn pool_loop(state: &Arc<State>) {
 }
 
 /// Adapter from engine telemetry to protocol events on the job channel.
-struct ChannelSink {
+struct ChannelSink<'a> {
     job: u64,
     cssg_cache: &'static str,
     cssg_shards: usize,
     tx: Mutex<mpsc::Sender<Json>>,
+    /// The daemon-wide dropped-event ledger ([`State::events_dropped`]).
+    events_dropped: &'a AtomicUsize,
 }
 
-impl ChannelSink {
+impl ChannelSink<'_> {
     fn send(&self, ev: Json) {
-        // A disconnected client only mutes telemetry; the job finishes
-        // so its verdicts still warm the cache.
-        let _ = self.tx.lock().expect("sink lock").send(ev);
+        let m = satpg_trace::metrics();
+        m.counter("serve.events_emitted").inc();
+        // A disconnected client mutes the stream, not the ledger: the
+        // job finishes (its verdicts still warm the cache), its stage
+        // and worker counters still land in the metrics registry above,
+        // and the muted sends are counted so `status` can report how
+        // much telemetry went unobserved.
+        if self.tx.lock().expect("sink lock").send(ev).is_err() {
+            self.events_dropped.fetch_add(1, Ordering::SeqCst);
+            m.counter("serve.events_dropped").inc();
+        }
     }
 }
 
-impl EngineSink for ChannelSink {
+impl EngineSink for ChannelSink<'_> {
     fn event(&self, ev: EngineEvent) {
         let j = self.job;
         match ev {
@@ -329,6 +359,31 @@ impl EngineSink for ChannelSink {
 }
 
 fn execute(state: &Arc<State>, job: &QueuedJob) {
+    let ckey = fnv64(job.spec.circuit.cache_text().as_bytes());
+    {
+        // The job root span: every CSSG/engine span opened below runs
+        // on this pool thread (or carries an explicit parent), so the
+        // whole campaign nests under one `job` slice in the trace.
+        let _job_span =
+            satpg_trace::span!("job", job = job.id, content_hash = format!("{ckey:016x}"));
+        execute_inner(state, job, ckey);
+    }
+    // Drain *after* the root span closed so its End is in the file.
+    // The collector is process-wide: with pool_workers > 1 a drain can
+    // carry a concurrent job's events too (see crates/trace/DESIGN.md);
+    // slices stay attributable through their `job` root spans.
+    if let Some(dir) = &state.cfg.trace_out {
+        if let Some(col) = satpg_trace::installed_collector() {
+            let events = col.drain();
+            let path = dir.join(format!("job-{}-{ckey:016x}.json", job.id));
+            if let Err(e) = satpg_trace::chrome::write_file(&path, &events, "satpg-serve") {
+                eprintln!("satpg serve: trace write {} failed: {e}", path.display());
+            }
+        }
+    }
+}
+
+fn execute_inner(state: &Arc<State>, job: &QueuedJob, ckey: u64) {
     let send = |ev: Json| {
         let _ = job.tx.send(ev);
     };
@@ -336,25 +391,31 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
         send(event::error(job.id, msg));
         state.jobs_failed.fetch_add(1, Ordering::SeqCst);
     };
+    let m = satpg_trace::metrics();
 
     // --- Circuit: content-hash lookup, then parse/synthesize. ---
-    let ckey = fnv64(job.spec.circuit.cache_text().as_bytes());
     let cached = state.cache.lock().expect("cache lock").get_circuit(ckey);
     let (ckt, ckt_cache) = match cached {
         Some(c) => (c, "hit"),
         None => match resolve_circuit(&job.spec.circuit) {
             Ok(c) => {
                 let c = Arc::new(c);
-                state
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .put_circuit(ckey, c.clone());
+                state.cache.lock().expect("cache lock").put_circuit(
+                    ckey,
+                    c.clone(),
+                    job.spec.circuit.cache_text().len(),
+                );
                 (c, "miss")
             }
             Err(msg) => return fail(&msg),
         },
     };
+    m.counter(if ckt_cache == "hit" {
+        "serve.cache.circuit_hits"
+    } else {
+        "serve.cache.circuit_misses"
+    })
+    .inc();
     send(event::stage(
         job.id,
         "circuit",
@@ -459,6 +520,12 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
             // build this requester becomes the next builder.
         }
     };
+    m.counter(if cssg_cache == "hit" {
+        "serve.cache.cssg_hits"
+    } else {
+        "serve.cache.cssg_misses"
+    })
+    .inc();
     if cssg.num_edges() == 0 {
         return fail(&satpg_core::CoreError::NoValidVectors.to_string());
     }
@@ -470,6 +537,7 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
         cssg_cache,
         cssg_shards: if cssg_cache == "hit" { 1 } else { shards },
         tx: Mutex::new(job.tx.clone()),
+        events_dropped: &state.events_dropped,
     };
     let out = run_engine_on_streaming(&ckt, &cssg, &faults, &cfg, us_cssg, &sink);
 
@@ -496,7 +564,10 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
 }
 
 fn status_json(state: &State) -> Json {
-    let cache = state.cache.lock().expect("cache lock").to_json_value();
+    let (cache, netlist_bytes, cssg_entries) = {
+        let c = state.cache.lock().expect("cache lock");
+        (c.to_json_value(), c.circuit_bytes(), c.cssg_entries())
+    };
     event::status(vec![
         (
             "jobs".to_string(),
@@ -524,6 +595,12 @@ fn status_json(state: &State) -> Json {
             ]),
         ),
         ("cache".to_string(), cache),
+        ("netlist_cache_bytes".to_string(), Json::int(netlist_bytes)),
+        ("cssg_cache_entries".to_string(), Json::int(cssg_entries)),
+        (
+            "events_dropped".to_string(),
+            Json::int(state.events_dropped.load(Ordering::SeqCst)),
+        ),
         (
             "cssg_builds".to_string(),
             Json::int(state.cssg_builds.load(Ordering::SeqCst)),
@@ -566,6 +643,10 @@ fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
         match Request::parse(&line) {
             Err(msg) => write_line(&mut conn, &event::rejected(&msg).render())?,
             Ok(Request::Status) => write_line(&mut conn, &status_json(state).render())?,
+            Ok(Request::Metrics) => write_line(
+                &mut conn,
+                &event::metrics(&satpg_trace::metrics().snapshot()).render(),
+            )?,
             Ok(Request::Shutdown) => {
                 state.shutdown.store(true, Ordering::SeqCst);
                 state.queue_cv.notify_all();
@@ -594,6 +675,9 @@ fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
                         // executor can only pop (and decrement) after
                         // this lock round, so the gauge never wraps.
                         state.jobs_queued.fetch_add(1, Ordering::SeqCst);
+                        satpg_trace::metrics()
+                            .gauge("serve.queue_depth")
+                            .set(q.len() as i64);
                         Some((id, q.len()))
                     }
                 };

@@ -214,6 +214,21 @@ impl SettleStats {
         self.truncated += o.truncated;
         self.fallbacks += o.fallbacks;
     }
+
+    /// Adds these counters into the process-wide metrics registry
+    /// (`settler.*`).  Called at integration boundaries — a CSSG build
+    /// completing, an engine worker retiring — never per settle, so the
+    /// settling hot path carries no registry traffic.
+    pub fn flush_metrics(&self) {
+        let m = satpg_trace::metrics();
+        m.counter("settler.settles").add(self.settles);
+        m.counter("settler.states_explored")
+            .add(self.states_explored);
+        m.counter("settler.por_states").add(self.por_states);
+        m.counter("settler.por_pruned").add(self.por_pruned);
+        m.counter("settler.truncated").add(self.truncated);
+        m.counter("settler.fallbacks").add(self.fallbacks);
+    }
 }
 
 /// Frontiers narrower than this are expanded serially even when
@@ -356,6 +371,9 @@ impl<'c> Settler<'c> {
         }
         let start = self.ckt.with_inputs(from, &pattern);
         let por = self.por;
+        // Only the exhaustive analyses get spans: fast-path hits are
+        // cheap ternary sims that would drown a trace in noise.
+        let _span = satpg_trace::span!("settle", k = self.k, por = self.por as u8);
         match self.bounded_walk(BTreeSet::from([start]), por) {
             Bounded::Truncated => {
                 self.stats.truncated += 1;

@@ -1,0 +1,68 @@
+//! `satpg-trace` — hierarchical span tracing and a process-wide metrics
+//! registry, with zero dependencies (std only, hand-rolled JSON like
+//! `satpg_core::json`; every other crate in the workspace depends on
+//! this one, so it can depend on nothing).
+//!
+//! Three pieces:
+//!
+//! * **Spans** ([`span!`], [`Span`]) — RAII guards recording wall-time,
+//!   thread id and parentage (via a thread-local stack, or an explicit
+//!   parent for cross-thread hierarchies).  Begin/End events go into a
+//!   per-thread buffer whose lock is touched only by the owning thread
+//!   and the drainer, so instrumented worker threads never synchronize
+//!   with each other — work-stealing schedules are not perturbed.
+//! * **Metrics** ([`metrics`], [`MetricsRegistry`]) — named counters,
+//!   gauges and fixed log-2 bucket histograms behind cheap atomic
+//!   handles.  The registry always counts (it needs no collector), and
+//!   its snapshot is deterministic in shape: names sorted, buckets at
+//!   fixed power-of-two boundaries.
+//! * **Exporters** — a Chrome `trace_event` JSON writer ([`chrome`])
+//!   loadable in `chrome://tracing` / Perfetto, and a metrics snapshot
+//!   renderer that is byte-stable modulo the measured values.
+//!
+//! # Zero overhead when disabled
+//!
+//! With no collector installed, [`span!`] is one relaxed atomic load and
+//! returns a no-op guard — no allocation, no time read, no thread-local
+//! touch.  Installing a collector flips the global and bumps a
+//! generation counter; threads lazily re-register their buffers when
+//! they notice the stale generation.
+//!
+//! # Determinism boundary
+//!
+//! Nothing in this crate feeds back into computation: spans and metrics
+//! are write-only telemetry, and the byte-stable report forms of the
+//! engine never read them.  See `crates/trace/DESIGN.md`.
+
+pub mod chrome;
+mod collect;
+mod metrics;
+
+pub use collect::{
+    current_span_id, enabled, install, installed_collector, uninstall, ArgValue, EventKind, Span,
+    TraceCollector, TraceEvent,
+};
+pub use metrics::{
+    metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+
+/// Opens a span: `span!("cssg.build")` or
+/// `span!("cssg.build", gates = n, k = k)`.
+///
+/// Returns a [`Span`] guard; the span closes when the guard drops.
+/// Argument values may be any integer type or string.  When no
+/// collector is installed this is a single relaxed atomic load and a
+/// no-op guard.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::Span::enter(
+                $name,
+                ::std::vec![$((::core::stringify!($key), $crate::ArgValue::from($val))),*],
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}

@@ -16,7 +16,9 @@
 //! * [`engine`] — the fault-parallel orchestration engine (sharded
 //!   workers, work stealing, test broadcasting, deterministic merge);
 //! * [`serve`] — the persistent service daemon (job scheduling,
-//!   cross-request symbolic caching, streaming telemetry).
+//!   cross-request symbolic caching, streaming telemetry);
+//! * [`trace`] — hierarchical span tracing, the process-wide metrics
+//!   registry, and the Chrome trace-event exporter behind `--trace-out`.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@ pub use satpg_netlist as netlist;
 pub use satpg_serve as serve;
 pub use satpg_sim as sim;
 pub use satpg_stg as stg;
+pub use satpg_trace as trace;
 
 /// The commonly used items in one import.
 pub mod prelude {

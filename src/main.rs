@@ -31,6 +31,7 @@ use satpg::netlist::{parse_ckt, to_ckt, Circuit};
 use satpg::serve::{CircuitSpec, Client, JobSpec, ServeConfig, Server};
 use satpg::stg::synth::{complex_gate, two_level, Redundancy};
 use satpg::stg::{suite, StateGraph};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Default daemon address for `serve`/`submit`/`status`/`shutdown`.
@@ -66,7 +67,13 @@ fn usage() -> ExitCode {
                   [--workers N] [--gc-threshold N] [--k N] [--output-model] [--collapse]\n          \
                   [--no-random] [--json]   # `-` submits .g or .ckt text from stdin\n  \
            status [--addr A] [--json]\n  \
-           shutdown [--addr A]"
+           metrics [--addr A] [--json]   # process-wide metrics registry snapshot\n  \
+           shutdown [--addr A]\n  \
+           bench-diff <old.json> <new.json> [--ignore-timing]\n                \
+                  # compare bench_report.json files; >20% regressions exit nonzero\n  \
+           trace-check <trace.json>      # validate a Chrome trace-event file\n\
+         engine/atpg/serve also accept --trace-out DIR to write Chrome trace-event\n\
+         files (load them at https://ui.perfetto.dev or chrome://tracing)"
     );
     ExitCode::FAILURE
 }
@@ -96,6 +103,7 @@ struct Opts {
     serve_workers: usize,
     queue_depth: usize,
     cache_size: usize,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Option<Opts> {
@@ -124,6 +132,7 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         serve_workers: 2,
         queue_depth: 16,
         cache_size: 64,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -151,6 +160,7 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--serve-workers" => o.serve_workers = it.next()?.parse().ok()?,
             "--queue-depth" => o.queue_depth = it.next()?.parse().ok()?,
             "--cache-size" => o.cache_size = it.next()?.parse().ok()?,
+            "--trace-out" => o.trace_out = Some(PathBuf::from(it.next()?)),
             "-" if o.bench.is_none() => o.bench = Some("-".to_string()),
             s if !s.starts_with('-') && o.bench.is_none() => o.bench = Some(s.to_string()),
             _ => return None,
@@ -354,7 +364,10 @@ fn main() -> ExitCode {
                 settle_por: !o.no_por,
                 settle_cap: o.settle_cap.map(CapPolicy::Fixed),
             };
-            match run_engine(&ckt, &cfg) {
+            let tracing = trace_setup(&o);
+            let result = run_engine(&ckt, &cfg);
+            trace_finish(tracing, ckt.name());
+            match result {
                 Ok(out) => {
                     if o.json {
                         println!("{}", out.to_json_value(true).render());
@@ -408,11 +421,51 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "serve" | "submit" | "status" | "shutdown" => {
+        "serve" | "submit" | "status" | "metrics" | "shutdown" => {
             let Some(o) = parse_opts(&args[1..]) else {
                 return usage();
             };
             service_command(cmd, &o)
+        }
+        "bench-diff" => {
+            let mut ignore_timing = false;
+            let mut files: Vec<&str> = Vec::new();
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--ignore-timing" => ignore_timing = true,
+                    s if !s.starts_with('-') => files.push(s),
+                    _ => return usage(),
+                }
+            }
+            let [old_path, new_path] = files[..] else {
+                return usage();
+            };
+            match bench_diff(old_path, new_path, ignore_timing) {
+                Ok(0) => ExitCode::SUCCESS,
+                Ok(n) => {
+                    eprintln!("bench-diff: {n} regression(s) over 20%");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trace-check" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match trace_check(path) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         "synth" | "cssg" | "atpg" | "dot" | "scan" => {
             let Some(o) = parse_opts_bench(&args[1..]) else {
@@ -483,6 +536,7 @@ fn main() -> ExitCode {
                         fault_sim: true,
                         three_phase: three_phase_config(&o, &ckt),
                     };
+                    let tracing = trace_setup(&o);
                     // The abstraction is built up front (optionally
                     // sharded — structurally identical either way) and
                     // reused for the tester program below.
@@ -500,7 +554,9 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                     let faults = satpg::core::faults_for(&ckt, cfg.fault_model);
-                    match run_atpg_on(&ckt, &cssg, &faults, &cfg, us_cssg) {
+                    let result = run_atpg_on(&ckt, &cssg, &faults, &cfg, us_cssg);
+                    trace_finish(tracing, ckt.name());
+                    match result {
                         Ok(r) => {
                             if o.json {
                                 println!("{}", r.to_json());
@@ -577,6 +633,7 @@ fn service_command(cmd: &str, o: &Opts) -> ExitCode {
                 cache_entries: o.cache_size,
                 default_job_workers: o.workers,
                 gc_threshold: o.gc_threshold,
+                trace_out: o.trace_out.clone(),
             };
             let server = match Server::bind(cfg) {
                 Ok(s) => s,
@@ -656,6 +713,29 @@ fn service_command(cmd: &str, o: &Opts) -> ExitCode {
                         println!("{status}");
                     } else {
                         print_status(&status);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "metrics" => {
+            let mut client = match Client::connect(&o.addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: connect {}: {e}", o.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.metrics() {
+                Ok(m) => {
+                    if o.json {
+                        println!("{m}");
+                    } else {
+                        print_metrics(&m);
                     }
                     ExitCode::SUCCESS
                 }
@@ -846,6 +926,198 @@ fn print_status(status: &Json) {
         top("pool_workers"),
         top("uptime_us")
     );
+}
+
+/// Installs the span collector when `--trace-out` was given; returns
+/// the directory to drain into after the run.
+fn trace_setup(o: &Opts) -> Option<PathBuf> {
+    o.trace_out.as_ref().map(|dir| {
+        satpg::trace::install();
+        dir.clone()
+    })
+}
+
+/// Drains the collector into `DIR/trace-<name>.json` (Chrome
+/// trace-event format, Perfetto-loadable).  A no-op without
+/// `--trace-out`.
+fn trace_finish(dir: Option<PathBuf>, name: &str) {
+    let Some(dir) = dir else { return };
+    let Some(col) = satpg::trace::installed_collector() else {
+        return;
+    };
+    let events = col.drain();
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("trace-{safe}.json"));
+    match satpg::trace::chrome::write_file(&path, &events, "satpg") {
+        Ok(()) => eprintln!("trace: {} events -> {}", events.len(), path.display()),
+        Err(e) => eprintln!("error: trace write {}: {e}", path.display()),
+    }
+}
+
+/// Renders a daemon `metrics` event for humans: one `name value` line
+/// per counter/gauge, one summary line per histogram.
+fn print_metrics(m: &Json) {
+    for section in ["counters", "gauges"] {
+        if let Some(Json::Obj(pairs)) = m.get(section) {
+            for (k, v) in pairs {
+                println!("{k} {v}");
+            }
+        }
+    }
+    if let Some(Json::Obj(pairs)) = m.get("histograms") {
+        for (k, v) in pairs {
+            let count = v.get("count").and_then(Json::as_u128).unwrap_or(0);
+            let sum = v.get("sum").and_then(Json::as_u128).unwrap_or(0);
+            let mean = sum.checked_div(count).unwrap_or(0);
+            println!("{k} count {count} sum {sum} mean {mean}");
+        }
+    }
+}
+
+/// Wall-clock units; skipped under `--ignore-timing` so CI can diff the
+/// deterministic records of two runs on machines of different speed.
+fn is_timing_unit(unit: &str) -> bool {
+    matches!(unit, "ns" | "us" | "ms" | "s")
+}
+
+/// Loads a `bench_report.json` (an array of `{bench, params, value,
+/// unit}` records) into `(key, value)` pairs.
+fn load_bench_report(path: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("{path}: expected a JSON array of records"))?;
+    let mut out = Vec::new();
+    for (i, rec) in arr.iter().enumerate() {
+        let bench = rec
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: record {i} has no string `bench`"))?;
+        let unit = rec
+            .get("unit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: record {i} has no string `unit`"))?;
+        let value = rec
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: record {i} has no numeric `value`"))?;
+        let params = rec.get("params").map(Json::render).unwrap_or_default();
+        out.push((format!("{bench} {params}"), unit.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Compares two bench reports record by record and prints every
+/// regression over 20%; returns how many there were.  "Worse" means a
+/// larger value except for `pct` units (coverage/efficiency), where it
+/// means smaller.  Records present on only one side are reported but
+/// are not regressions (benchmark sets may grow).
+fn bench_diff(old_path: &str, new_path: &str, ignore_timing: bool) -> Result<usize, String> {
+    let old = load_bench_report(old_path)?;
+    let new = load_bench_report(new_path)?;
+    let mut regressions = 0usize;
+    for (key, unit, old_v) in &old {
+        if ignore_timing && is_timing_unit(unit) {
+            continue;
+        }
+        let Some((_, _, new_v)) = new.iter().find(|(k, u, _)| k == key && u == unit) else {
+            println!("only in {old_path}: {key} ({unit})");
+            continue;
+        };
+        let worse = if unit == "pct" {
+            *new_v < old_v * 0.8
+        } else {
+            *new_v > old_v * 1.2
+        };
+        if worse {
+            regressions += 1;
+            println!("REGRESSION {key}: {old_v} -> {new_v} {unit}");
+        }
+    }
+    for (key, unit, _) in &new {
+        if ignore_timing && is_timing_unit(unit) {
+            continue;
+        }
+        if !old.iter().any(|(k, u, _)| k == key && u == unit) {
+            println!("only in {new_path}: {key} ({unit})");
+        }
+    }
+    println!(
+        "bench-diff: {} record(s) compared, {} regression(s)",
+        old.len(),
+        regressions
+    );
+    Ok(regressions)
+}
+
+/// Validates a Chrome trace-event file: every non-metadata event is a
+/// `B` or `E`, `B`/`E` balance per thread, and per-thread timestamps
+/// never go backwards.  This is the schema every file written by
+/// `--trace-out` satisfies by construction; CI runs it on the artifact.
+fn trace_check(path: &str) -> Result<String, String> {
+    use std::collections::HashMap;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no `traceEvents` array"))?;
+    let mut depth: HashMap<(u128, u128), i64> = HashMap::new();
+    let mut last_ts: HashMap<(u128, u128), u128> = HashMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        if ph == "M" {
+            continue;
+        }
+        let pid = ev.get("pid").and_then(Json::as_u128).unwrap_or(0);
+        let tid = ev.get("tid").and_then(Json::as_u128).unwrap_or(0);
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_u128)
+            .ok_or_else(|| format!("event {i}: missing integer `ts`"))?;
+        let key = (pid, tid);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: ts went backwards on tid {tid} ({ts} < {prev})"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+        let d = depth.entry(key).or_insert(0);
+        match ph {
+            "B" => {
+                *d += 1;
+                spans += 1;
+            }
+            "E" => {
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!(
+                        "event {i}: `E` without a matching `B` on tid {tid}"
+                    ));
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    for ((_, tid), d) in &depth {
+        if *d != 0 {
+            return Err(format!("tid {tid}: {d} unclosed span(s)"));
+        }
+    }
+    Ok(format!(
+        "{path}: OK - {spans} span(s) across {} thread(s), balanced and monotone",
+        depth.len()
+    ))
 }
 
 fn row_for(ckt: &Circuit, name: &str) -> TableRow {
