@@ -20,6 +20,7 @@ use satpg_core::{
 };
 use satpg_engine::{run_engine, EngineConfig};
 use satpg_netlist::{families as nf, Circuit};
+use satpg_serve::{run_fleet, CircuitSpec, FleetConfig, JobSpec, ServeConfig, Server};
 use satpg_stg::synth::complex_gate;
 use satpg_stg::{families as sf, StateGraph};
 use std::fmt::Write as _;
@@ -319,6 +320,67 @@ fn measure_random(
     (best, json)
 }
 
+/// Fleet probe: the same no-random campaign partitioned across N
+/// in-process peer daemons over loopback TCP, vs peer count.  The
+/// wall clock includes the protocol round trips — the distribution
+/// overhead the coordinator amortizes — while the verdict count pins
+/// that the remote path did the work.
+fn measure_fleet(
+    label: &str,
+    ckt: &Circuit,
+    peers: &[String],
+    n: usize,
+    reps: u32,
+    records: &mut Vec<BenchRecord>,
+) -> (u128, String) {
+    let spec = JobSpec {
+        workers: 2,
+        no_random: true,
+        ..JobSpec::new(CircuitSpec::InlineCkt {
+            text: satpg_netlist::to_ckt(ckt),
+        })
+    };
+    let fc = FleetConfig {
+        peers: peers[..n].to_vec(),
+        ..FleetConfig::default()
+    };
+    let mut best = u128::MAX;
+    let mut last = None;
+    for _ in 0..=reps {
+        let t = Instant::now();
+        let out = run_fleet(&spec, &fc).expect("fleet campaign runs");
+        let us = t.elapsed().as_micros();
+        if last.is_some() || reps == 0 {
+            best = best.min(us);
+        }
+        last = Some(out);
+    }
+    let out = last.expect("ran at least once");
+    let json = format!(
+        "{{\"bench\":\"fleet_scaling\",\"workload\":\"{label}\",\"peers\":{n},\
+         \"best_us\":{best},\"faults\":{},\"coverage\":{:.2},\
+         \"shards\":{},\"remote_verdicts\":{},\"merge_fallbacks\":{}}}",
+        out.report.total(),
+        out.report.coverage(),
+        out.stats.shards,
+        out.stats.remote_verdicts,
+        out.stats.merge_fallbacks,
+    );
+    records.push(record(
+        "fleet_scaling",
+        format!("{label}/p{n}"),
+        best as f64,
+        "us",
+    ));
+    records.push(record(
+        "fleet_scaling",
+        format!("{label}/p{n}/coverage"),
+        out.report.coverage(),
+        "pct",
+    ));
+    (best, json)
+}
+
 fn main() {
     // `SATPG_BENCH_QUICK=1` (CI) shrinks every dimension: smaller
     // circuits, fewer worker counts, no repetitions.  Record keys stay
@@ -441,6 +503,41 @@ fn main() {
             trajectory.push_str(",\n");
             let _ = write!(trajectory, "  {json}");
         }
+    }
+    // Fleet scaling: the coordinator across 1..N in-process peer
+    // daemons on a no-random muller workload (every class reaches the
+    // distributed phase).
+    let (fleet_label, fleet_size) = if quick {
+        ("muller_pipe10", 10)
+    } else {
+        ("muller_pipe16", 16)
+    };
+    let peer_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3] };
+    let max_peers = peer_counts.iter().copied().max().unwrap_or(1);
+    let peers: Vec<String> = (0..max_peers)
+        .map(|_| {
+            let server = Server::bind(ServeConfig::default()).expect("bind peer daemon");
+            let addr = server.local_addr();
+            std::thread::spawn(move || {
+                let _ = server.run();
+            });
+            addr
+        })
+        .collect();
+    let fleet_ckt = nf::muller_pipeline(fleet_size);
+    let mut fleet_base = 0u128;
+    for &n in peer_counts {
+        let (best, json) = measure_fleet(fleet_label, &fleet_ckt, &peers, n, reps, &mut records);
+        if n == 1 {
+            fleet_base = best;
+        }
+        let speedup = fleet_base as f64 / best.max(1) as f64;
+        println!(
+            "bench fleet_scaling/{fleet_label}/p{n:<2} {best:>10} us  (speedup x{speedup:.2})"
+        );
+        println!("{json}");
+        trajectory.push_str(",\n");
+        let _ = write!(trajectory, "  {json}");
     }
     trajectory.push_str("\n]\n");
     // Benches run with the package as CWD; anchor on the workspace root.

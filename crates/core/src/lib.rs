@@ -52,7 +52,9 @@ pub use fsim::fault_simulate;
 pub use oracle::{validate_test, Verdict};
 pub use random_tpg::{random_tpg, RandomStats, RandomTpgConfig, RandomTpgResult};
 pub use scan::{scan_candidates, ScanAnalysis, ScanCandidate};
-pub use three_phase::{three_phase, three_phase_traced, FaultStatus, ThreePhaseConfig};
+pub use three_phase::{
+    three_phase, three_phase_traced, FaultStatus, ThreePhaseConfig, UntestableReason,
+};
 
 // The settling-engine vocabulary callers need to configure the above.
 pub use satpg_sim::{CapPolicy, SettleStats};

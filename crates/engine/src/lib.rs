@@ -45,6 +45,7 @@ mod run;
 pub mod shard;
 
 pub use run::{
-    reports_identical, run_engine, run_engine_on, run_engine_on_streaming, run_engine_streaming,
-    EngineConfig, EngineEvent, EngineReport, EngineSink, NullSink, WorkerStats,
+    merge_partial, prepare_campaign, reports_identical, run_engine, run_engine_on,
+    run_engine_on_streaming, run_engine_streaming, Campaign, EngineConfig, EngineEvent,
+    EngineReport, EngineSink, NullSink, PartialMerge, WorkerStats,
 };

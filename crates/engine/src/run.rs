@@ -342,6 +342,121 @@ impl EngineReport {
     }
 }
 
+/// A campaign paused at the targeted-stage boundary: the fault plan plus
+/// the stage state left by random TPG.  This is the unit a distributed
+/// coordinator exports — [`StageState::open_classes`] is the work to
+/// partition across peers, and feeding the collected verdicts back
+/// through [`merge_partial`] reproduces the serial report.
+pub struct Campaign {
+    /// The collapsed fault plan (class order is the serial order).
+    pub plan: FaultPlan,
+    /// Stage state after random TPG: open classes still need a verdict.
+    pub state: StageState,
+    /// Microseconds the random stage took.
+    pub us_random: u128,
+}
+
+/// Builds the fault plan and runs the (serial, deterministic) random
+/// stage — everything that precedes the parallelizable targeted search.
+pub fn prepare_campaign(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    faults: &[Fault],
+    cfg: &AtpgConfig,
+) -> Campaign {
+    let plan = FaultPlan::new(ckt, faults, cfg.collapse);
+    let mut state = StageState::new(plan.len());
+    let t = Instant::now();
+    if let Some(rnd_cfg) = &cfg.random {
+        let _span = satpg_trace::span!("stage.random", classes = plan.len());
+        random_stage(ckt, cssg, &plan, rnd_cfg, &mut state);
+    }
+    Campaign {
+        plan,
+        state,
+        us_random: t.elapsed().as_micros(),
+    }
+}
+
+/// Outcome of [`merge_partial`]: the serial-identical report and how many
+/// classes had to be re-searched locally.
+pub struct PartialMerge {
+    /// The assembled report, byte-identical (timing aside) to serial
+    /// [`satpg_core::run_atpg`] for the same configuration.
+    pub report: AtpgReport,
+    /// Classes whose verdict was missing and recomputed on the spot.
+    pub fallbacks: usize,
+    /// Microseconds the merge replay took.
+    pub us_merge: u128,
+}
+
+/// The deterministic merge as a standalone entry point: replays the exact
+/// serial control flow over *all* classes, consuming a precomputed
+/// verdict wherever `verdict(ci)` supplies one and recomputing the
+/// three-phase search locally where it does not.
+///
+/// Because a class verdict is a pure function of
+/// `(circuit, cssg, fault, config)`, the report does not depend on which
+/// classes arrive precomputed: lost, late or never-dispatched verdicts
+/// only move work into `fallbacks`, never change a record.  This is what
+/// makes peer loss invisible to a fleet campaign's report.
+///
+/// `us_distributed` is the wall-clock of whatever parallel/remote phase
+/// produced the verdicts; it is folded into the report's three-phase
+/// timing alongside the merge's own time.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_partial(
+    ckt: &Circuit,
+    cssg: &Cssg,
+    faults: &[Fault],
+    cfg: &AtpgConfig,
+    plan: &FaultPlan,
+    mut state: StageState,
+    us_cssg: u128,
+    us_random: u128,
+    us_distributed: u128,
+    verdict: &mut dyn FnMut(usize) -> Option<FaultStatus>,
+) -> PartialMerge {
+    let t = Instant::now();
+    let merge_span = satpg_trace::span!("stage.merge", classes = plan.len());
+    let mut fallbacks = 0usize;
+    let queue: Vec<usize> = (0..plan.len()).collect();
+    targeted_stage(
+        ckt,
+        cssg,
+        plan,
+        cfg.fault_sim,
+        &queue,
+        &mut state,
+        &mut |ci, f| match verdict(ci) {
+            Some(v) => v,
+            None => {
+                fallbacks += 1;
+                three_phase(ckt, cssg, f, &cfg.three_phase)
+            }
+        },
+    );
+    drop(merge_span);
+    let us_merge = t.elapsed().as_micros();
+    let report = satpg_core::stages::assemble_report(
+        ckt,
+        cssg,
+        faults,
+        plan,
+        state,
+        satpg_core::stages::StageTimings {
+            us_cssg,
+            us_random,
+            us_three_phase: us_distributed + us_merge,
+        },
+    );
+    PartialMerge {
+        report,
+        fallbacks,
+        us_merge,
+    }
+}
+
 /// Runs the fault-parallel campaign on `ckt`.
 ///
 /// # Errors
@@ -428,17 +543,13 @@ fn run_engine_built(
         shards: cssg_shards,
         us: us_cssg,
     });
-    let plan = FaultPlan::new(ckt, faults, cfg.atpg.collapse);
-    let mut state = StageState::new(plan.len());
-
     // --- Stage 1: random TPG (serial; it is cheap, deterministic and
     // sets the shared baseline both drivers start the targeted loop from).
-    let t1 = Instant::now();
-    if let Some(rnd_cfg) = &cfg.atpg.random {
-        let _span = satpg_trace::span!("stage.random", classes = plan.len());
-        random_stage(ckt, cssg, &plan, rnd_cfg, &mut state);
-    }
-    let us_random = t1.elapsed().as_micros();
+    let Campaign {
+        plan,
+        state,
+        us_random,
+    } = prepare_campaign(ckt, cssg, faults, &cfg.atpg);
 
     // --- Stage 2 (parallel): precompute three-phase verdicts. ---
     let pending = state.open_classes();
@@ -507,52 +618,37 @@ fn run_engine_built(
     // --- Stage 3: deterministic merge.  Replay the exact serial control
     // flow, consuming precomputed verdicts; a class skipped by a
     // broadcast drop but reached open here is recomputed on the spot.
-    let t3 = Instant::now();
-    let merge_span = satpg_trace::span!("stage.merge", classes = plan.len());
-    let mut merge_fallbacks = 0usize;
-    let queue: Vec<usize> = (0..plan.len()).collect();
-    targeted_stage(
-        ckt,
-        cssg,
-        &plan,
-        cfg.atpg.fault_sim,
-        &queue,
-        &mut state,
-        &mut |ci, f| match outcomes[ci].get() {
-            Some(v) => v.clone(),
-            None => {
-                merge_fallbacks += 1;
-                three_phase(ckt, cssg, f, &cfg.atpg.three_phase)
-            }
-        },
-    );
-    drop(merge_span);
-    let us_merge = t3.elapsed().as_micros();
-    sink.event(EngineEvent::MergeDone {
-        fallbacks: merge_fallbacks,
-        us: us_merge,
-    });
-    flush_engine_metrics(&worker_stats, us_cssg, us_random, us_parallel, us_merge);
-
-    let report = satpg_core::stages::assemble_report(
+    let merged = merge_partial(
         ckt,
         cssg,
         faults,
+        &cfg.atpg,
         &plan,
         state,
-        satpg_core::stages::StageTimings {
-            us_cssg,
-            us_random,
-            us_three_phase: us_parallel + us_merge,
-        },
+        us_cssg,
+        us_random,
+        us_parallel,
+        &mut |ci| outcomes[ci].get().cloned(),
     );
+    sink.event(EngineEvent::MergeDone {
+        fallbacks: merged.fallbacks,
+        us: merged.us_merge,
+    });
+    flush_engine_metrics(
+        &worker_stats,
+        us_cssg,
+        us_random,
+        us_parallel,
+        merged.us_merge,
+    );
+
     EngineReport {
-        report,
+        report: merged.report,
         workers: worker_stats,
         parallel_verdicts,
-        merge_fallbacks,
+        merge_fallbacks: merged.fallbacks,
         us_parallel,
-        us_merge,
+        us_merge: merged.us_merge,
     }
 }
 

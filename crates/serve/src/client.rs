@@ -55,6 +55,10 @@ pub struct SubmitOutcome {
 pub struct Client {
     reader: BufReader<Conn>,
     writer: Conn,
+    /// Correlation ids: every request carries a fresh one, and every
+    /// reply is checked to echo it, so a desynchronized stream is caught
+    /// as a protocol error instead of silently misattributed.
+    next_id: u64,
 }
 
 impl Client {
@@ -69,11 +73,15 @@ impl Client {
         Ok(Client {
             reader,
             writer: conn,
+            next_id: 1,
         })
     }
 
-    fn send(&mut self, req: &Request) -> io::Result<()> {
-        write_line(&mut self.writer, &req.to_json_value().render())
+    fn send(&mut self, req: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_line(&mut self.writer, &req.to_json_with_id(Some(id)).render())?;
+        Ok(id)
     }
 
     fn next_event(&mut self) -> Result<Option<Json>, ClientError> {
@@ -82,6 +90,19 @@ impl Client {
             Some(line) => Json::parse(&line)
                 .map(Some)
                 .map_err(|e| ClientError::Protocol(format!("{e} in {line:?}"))),
+        }
+    }
+
+    /// Checks that a reply carries the expected correlation id echo.
+    /// Replies without an `id` pass: only `rejected` events for
+    /// unparseable lines lack one, and an older daemon omits them all.
+    fn check_echo(ev: &Json, id: u64) -> Result<(), ClientError> {
+        match ev.get("id").and_then(Json::as_usize) {
+            None => Ok(()),
+            Some(got) if got as u64 == id => Ok(()),
+            Some(got) => Err(ClientError::Protocol(format!(
+                "reply echoes id {got}, expected {id}: {ev}"
+            ))),
         }
     }
 
@@ -98,10 +119,11 @@ impl Client {
         spec: JobSpec,
         on_event: &mut dyn FnMut(&Json),
     ) -> Result<SubmitOutcome, ClientError> {
-        self.send(&Request::Submit(Box::new(spec)))?;
+        let id = self.send(&Request::Submit(Box::new(spec)))?;
         let first = self
             .next_event()?
             .ok_or_else(|| ClientError::Protocol("connection closed before reply".into()))?;
+        Self::check_echo(&first, id)?;
         on_event(&first);
         let job = match first.get("event").and_then(Json::as_str) {
             Some("accepted") => first.get("job").and_then(Json::as_usize).unwrap_or(0) as u64,
@@ -123,6 +145,7 @@ impl Client {
             let ev = self.next_event()?.ok_or_else(|| {
                 ClientError::Protocol("connection closed before the final report".into())
             })?;
+            Self::check_echo(&ev, id)?;
             on_event(&ev);
             let kind = ev.get("event").and_then(Json::as_str).map(str::to_string);
             events.push(ev);
@@ -165,9 +188,12 @@ impl Client {
     ///
     /// Transport/protocol errors.
     pub fn status(&mut self) -> Result<Json, ClientError> {
-        self.send(&Request::Status)?;
-        self.next_event()?
-            .ok_or_else(|| ClientError::Protocol("connection closed before status".into()))
+        let id = self.send(&Request::Status)?;
+        let ev = self
+            .next_event()?
+            .ok_or_else(|| ClientError::Protocol("connection closed before status".into()))?;
+        Self::check_echo(&ev, id)?;
+        Ok(ev)
     }
 
     /// Fetches a snapshot of the daemon's process-wide metrics
@@ -177,9 +203,12 @@ impl Client {
     ///
     /// Transport/protocol errors.
     pub fn metrics(&mut self) -> Result<Json, ClientError> {
-        self.send(&Request::Metrics)?;
-        self.next_event()?
-            .ok_or_else(|| ClientError::Protocol("connection closed before metrics".into()))
+        let id = self.send(&Request::Metrics)?;
+        let ev = self
+            .next_event()?
+            .ok_or_else(|| ClientError::Protocol("connection closed before metrics".into()))?;
+        Self::check_echo(&ev, id)?;
+        Ok(ev)
     }
 
     /// Asks the daemon to shut down cleanly.
@@ -188,10 +217,11 @@ impl Client {
     ///
     /// Transport/protocol errors, or a non-acknowledgement reply.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.send(&Request::Shutdown)?;
+        let id = self.send(&Request::Shutdown)?;
         let reply = self
             .next_event()?
             .ok_or_else(|| ClientError::Protocol("connection closed before ack".into()))?;
+        Self::check_echo(&reply, id)?;
         if reply.get("shutdown").and_then(Json::as_bool) == Some(true) {
             Ok(())
         } else {

@@ -3,7 +3,8 @@
 //! the parser's line number where one exists) — submissions are
 //! untrusted input and must never panic the daemon.
 
-use crate::proto::CircuitSpec;
+use crate::proto::{CircuitSpec, JobSpec};
+use satpg_core::{AtpgConfig, CssgConfig, FaultModel, RandomTpgConfig, ThreePhaseConfig};
 use satpg_netlist::{parse_ckt, Circuit};
 use satpg_stg::synth::{complex_gate, two_level, Redundancy};
 use satpg_stg::{parse_g, suite, StateGraph, Stg};
@@ -68,6 +69,37 @@ pub fn resolve_circuit(spec: &CircuitSpec) -> Result<Circuit, String> {
             synth(&stg, style)
         }
         CircuitSpec::InlineCkt { text } => parse_ckt(text).map_err(|e| e.to_string()),
+    }
+}
+
+/// The flow configuration a job spec denotes for `ckt` — the single
+/// definition shared by the daemon's engine path, a fleet coordinator
+/// and its peer shards.  Byte-identical fleet reports depend on every
+/// node deriving the *same* `AtpgConfig` from the same spec, so this
+/// must stay the only place that mapping lives.
+pub fn job_atpg_config(spec: &JobSpec, ckt: &Circuit) -> AtpgConfig {
+    AtpgConfig {
+        cssg: CssgConfig {
+            k: spec.k,
+            pattern_budget: spec.pattern_budget,
+            ..CssgConfig::default()
+        },
+        random: if spec.no_random {
+            None
+        } else {
+            Some(RandomTpgConfig {
+                pattern_parallel: spec.pp_random,
+                ..Default::default()
+            })
+        },
+        fault_model: if spec.output_model {
+            FaultModel::OutputStuckAt
+        } else {
+            FaultModel::InputStuckAt
+        },
+        collapse: spec.collapse,
+        fault_sim: true,
+        three_phase: ThreePhaseConfig::scaled(ckt),
     }
 }
 

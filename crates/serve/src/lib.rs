@@ -26,15 +26,27 @@
 //! so a daemon answer is as trustworthy as a batch run.  Per-job BDD
 //! managers die with their job and respect `gc_threshold` while alive,
 //! which keeps daemon-lifetime memory bounded.
+//!
+//! On top of the single-daemon service sits the **fleet** layer
+//! ([`fleet`]): a coordinator partitions one campaign's fault classes
+//! across peer daemons over the same wire protocol (`enlist` /
+//! `shard_submit` / `broadcast`), requeues shards lost to peer failures,
+//! and closes with the engine's deterministic merge — so the fleet
+//! report stays byte-identical to a serial run under any peer count and
+//! any failure pattern.  [`testing`] ships the fault-injection proxy the
+//! integration suite uses to prove exactly that.
 
 pub mod cache;
 pub mod client;
+pub mod fleet;
 pub mod job;
 mod net;
 pub mod proto;
 mod server;
+pub mod testing;
 
 pub use client::{Client, ClientError, SubmitOutcome};
-pub use job::resolve_circuit;
-pub use proto::{CircuitSpec, JobSpec, Request};
+pub use fleet::{run_fleet, run_fleet_built, FleetConfig, FleetOutcome, FleetStats};
+pub use job::{job_atpg_config, resolve_circuit};
+pub use proto::{CircuitSpec, JobSpec, Request, ShardSpec};
 pub use server::{ServeConfig, Server};

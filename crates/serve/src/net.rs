@@ -26,6 +26,16 @@ impl Conn {
             Conn::Unix(s) => s.try_clone().map(Conn::Unix),
         }
     }
+
+    /// Bounds how long a read blocks (`None` restores blocking reads).
+    /// The timeout is a socket property, so it is shared with clones.
+    pub(crate) fn set_read_timeout(&self, d: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -177,6 +187,79 @@ pub(crate) fn read_line_capped(r: &mut impl BufRead, cap: usize) -> io::Result<O
     }
 }
 
+/// One poll of a [`TimedLineReader`].
+#[derive(Debug)]
+pub(crate) enum LineRead {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The read timed out before a full line arrived; buffered partial
+    /// data is kept, so a later poll resumes exactly where this stopped.
+    TimedOut,
+    /// The peer closed the connection.  A partial unterminated line is
+    /// discarded — line protocols treat a mid-line close as a dead peer.
+    Eof,
+}
+
+/// A line reader over a socket with a read timeout set.  Unlike a
+/// `BufRead` loop, a timeout here never corrupts framing: partial bytes
+/// stay buffered across [`LineRead::TimedOut`] polls, which is what lets
+/// a fleet coordinator watch a slow peer without losing sync with it.
+pub(crate) struct TimedLineReader {
+    conn: Conn,
+    buf: Vec<u8>,
+    /// Prefix of `buf` already scanned and known newline-free.
+    scanned: usize,
+    cap: usize,
+}
+
+impl TimedLineReader {
+    pub(crate) fn new(conn: Conn, cap: usize) -> Self {
+        TimedLineReader {
+            conn,
+            buf: Vec::new(),
+            scanned: 0,
+            cap,
+        }
+    }
+
+    /// Polls for the next line; returns [`LineRead::TimedOut`] when the
+    /// socket's read timeout expires first.
+    pub(crate) fn next(&mut self) -> io::Result<LineRead> {
+        loop {
+            if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let pos = self.scanned + off;
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                self.scanned = 0;
+                return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.cap {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("reply line exceeds {} bytes", self.cap),
+                ));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.conn.read(&mut chunk) {
+                Ok(0) => return Ok(LineRead::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(LineRead::TimedOut)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 /// Writes one message line and flushes it (the stream stays line-buffered
 /// from the peer's perspective).
 pub(crate) fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
@@ -211,5 +294,27 @@ mod tests {
         let long = [b'x'; 100];
         let mut r = BufReader::new(&long[..]);
         assert!(read_line_capped(&mut r, 10).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn timed_reader_survives_timeouts_mid_line() {
+        use std::io::Write;
+        use std::os::unix::net::UnixStream;
+        use std::time::Duration;
+        let (a, mut w) = UnixStream::pair().unwrap();
+        a.set_read_timeout(Some(Duration::from_millis(30))).unwrap();
+        let mut r = TimedLineReader::new(Conn::Unix(a), 64);
+        w.write_all(b"hel").unwrap();
+        // A timeout mid-line keeps the partial bytes buffered.
+        assert!(matches!(r.next().unwrap(), LineRead::TimedOut));
+        w.write_all(b"lo\nwor").unwrap();
+        match r.next().unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "hello"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(r.next().unwrap(), LineRead::TimedOut));
+        drop(w);
+        assert!(matches!(r.next().unwrap(), LineRead::Eof));
     }
 }

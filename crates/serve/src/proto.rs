@@ -12,7 +12,9 @@
 //! JSON nesting depth are capped upstream).
 
 use satpg_core::json::Json;
+use satpg_core::{FaultStatus, TestSequence, UntestableReason};
 use satpg_engine::WorkerStats;
+use satpg_netlist::Pattern;
 
 /// Hard cap on one request line (bytes), applied while reading.
 pub const MAX_LINE_BYTES: usize = 4 << 20;
@@ -22,6 +24,16 @@ pub const MAX_K: usize = 1 << 16;
 
 /// Hard cap on per-job engine workers.
 pub const MAX_JOB_WORKERS: usize = 64;
+
+/// Wire protocol version, echoed in the `enlisted` handshake so a fleet
+/// coordinator can refuse peers speaking something else.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on classes in one `shard_submit`.
+pub const MAX_SHARD_CLASSES: usize = 1 << 20;
+
+/// Hard cap on one serialized pattern's bit length.
+pub const MAX_PATTERN_BITS: usize = 1 << 16;
 
 /// What circuit a job targets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -175,6 +187,18 @@ impl JobSpec {
     }
 }
 
+/// One slice of a fleet campaign: the job's spec (so the peer resolves
+/// the same circuit and flow knobs as the coordinator) plus the serial
+/// class indices this peer should search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The campaign's job spec; the peer derives its fault plan from it
+    /// exactly as a local run would, so class indices agree.
+    pub job: JobSpec,
+    /// Serial class indices to search, in serial order.
+    pub classes: Vec<usize>,
+}
+
 /// A client → server message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -188,47 +212,200 @@ pub enum Request {
     Metrics,
     /// Stop accepting work and exit once running jobs finish.
     Shutdown,
+    /// Fleet handshake: ask the daemon to identify itself as a peer
+    /// (answered with an `enlisted` event carrying the protocol version).
+    Enlist,
+    /// Run a slice of a fleet campaign, streaming one `shard_verdict`
+    /// per computed class and a terminal `shard_result`.
+    ShardSubmit(Box<ShardSpec>),
+    /// Relay of a test found elsewhere in the fleet: the shard session
+    /// `shard` may drop pending classes after `class` (in serial order)
+    /// that the test already covers.
+    Broadcast {
+        /// The target shard session (the `id` its `shard_submit` carried).
+        shard: u64,
+        /// Serial class index of the broadcasting class.
+        class: usize,
+        /// The discovered test.
+        test: TestSequence,
+    },
+}
+
+/// Serializes a test sequence for the wire: one bit-0-first `0`/`1`
+/// string per pattern.  Bitstrings are self-describing (their length is
+/// the input count), so parsing needs no circuit context, and the
+/// round-trip is exact for any width.
+pub fn test_to_json(seq: &TestSequence) -> Json {
+    Json::Arr(
+        seq.patterns
+            .iter()
+            .map(|p| Json::str(p.to_string()))
+            .collect(),
+    )
+}
+
+/// Parses a wire test sequence (see [`test_to_json`]).
+///
+/// # Errors
+///
+/// A message on non-arrays, non-bitstring patterns or oversized widths.
+pub fn test_from_json(v: &Json) -> Result<TestSequence, String> {
+    let arr = match v {
+        Json::Arr(a) => a,
+        _ => return Err("test must be an array of pattern bitstrings".to_string()),
+    };
+    let mut patterns = Vec::with_capacity(arr.len());
+    for p in arr {
+        let s = p
+            .as_str()
+            .ok_or("test pattern must be a bitstring".to_string())?;
+        if s.is_empty() || s.len() > MAX_PATTERN_BITS || !s.bytes().all(|b| b == b'0' || b == b'1')
+        {
+            return Err(format!("malformed test pattern `{s}`"));
+        }
+        let bytes = s.as_bytes();
+        patterns.push(Pattern::from_fn(s.len(), |i| bytes[i] == b'1'));
+    }
+    Ok(TestSequence { patterns })
+}
+
+/// Serializes a fault verdict as `status` (+ `test` when detected)
+/// fields, spliced into an enclosing object's field list.
+pub fn verdict_fields(v: &FaultStatus) -> Vec<(String, Json)> {
+    match v {
+        FaultStatus::Detected { sequence } => vec![
+            ("status".to_string(), Json::str("detected")),
+            ("test".to_string(), test_to_json(sequence)),
+        ],
+        FaultStatus::Untestable(_) => vec![("status".to_string(), Json::str("untestable"))],
+        FaultStatus::Aborted => vec![("status".to_string(), Json::str("aborted"))],
+    }
+}
+
+/// Parses a verdict from an object carrying [`verdict_fields`].
+///
+/// # Errors
+///
+/// A message on unknown statuses or malformed tests.
+pub fn verdict_from_json(v: &Json) -> Result<FaultStatus, String> {
+    match v.get("status").and_then(Json::as_str) {
+        Some("detected") => Ok(FaultStatus::Detected {
+            sequence: test_from_json(v.get("test").ok_or("detected verdict requires `test`")?)?,
+        }),
+        Some("untestable") => Ok(FaultStatus::Untestable(
+            UntestableReason::NoDistinguishingSequence,
+        )),
+        Some("aborted") => Ok(FaultStatus::Aborted),
+        other => Err(format!("unknown verdict status {other:?}")),
+    }
+}
+
+/// Splices a job spec's knob fields into a request's field list
+/// (default-valued knobs are omitted to keep lines short).
+fn job_fields(spec: &JobSpec, m: &mut Vec<(String, Json)>) {
+    m.push(("circuit".to_string(), spec.circuit.to_json_value()));
+    if spec.workers != 0 {
+        m.push(("workers".to_string(), Json::int(spec.workers)));
+    }
+    if let Some(t) = spec.gc_threshold {
+        m.push(("gc_threshold".to_string(), Json::int(t)));
+    }
+    if spec.output_model {
+        m.push(("output_model".to_string(), Json::Bool(true)));
+    }
+    if spec.collapse {
+        m.push(("collapse".to_string(), Json::Bool(true)));
+    }
+    if spec.no_random {
+        m.push(("no_random".to_string(), Json::Bool(true)));
+    }
+    if spec.pp_random {
+        m.push(("pp_random".to_string(), Json::Bool(true)));
+    }
+    if let Some(k) = spec.k {
+        m.push(("k".to_string(), Json::int(k)));
+    }
+    if let Some(b) = spec.pattern_budget {
+        m.push(("pattern_budget".to_string(), Json::int(b)));
+    }
+}
+
+/// Parses the job-spec knob fields of a `submit`/`shard_submit` object.
+fn job_from_json(v: &Json) -> Result<JobSpec, String> {
+    let circuit = CircuitSpec::from_json(v.get("circuit").ok_or("request requires `circuit`")?)?;
+    let usize_knob = |key: &str, max: usize| -> Result<Option<usize>, String> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(j) => {
+                let n = j
+                    .as_usize()
+                    .ok_or(format!("`{key}` must be a non-negative integer"))?;
+                if n > max {
+                    return Err(format!("`{key}` {n} exceeds the cap {max}"));
+                }
+                Ok(Some(n))
+            }
+        }
+    };
+    let bool_knob = |key: &str| -> Result<bool, String> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(false),
+            Some(j) => j.as_bool().ok_or(format!("`{key}` must be a boolean")),
+        }
+    };
+    Ok(JobSpec {
+        circuit,
+        workers: usize_knob("workers", MAX_JOB_WORKERS)?.unwrap_or(0),
+        gc_threshold: usize_knob("gc_threshold", usize::MAX / 2)?,
+        output_model: bool_knob("output_model")?,
+        collapse: bool_knob("collapse")?,
+        no_random: bool_knob("no_random")?,
+        pp_random: bool_knob("pp_random")?,
+        k: usize_knob("k", MAX_K)?,
+        pattern_budget: usize_knob("pattern_budget", usize::MAX / 2)?.map(|b| b as u64),
+    })
 }
 
 impl Request {
     /// Renders the request as one protocol line (without the newline).
     pub fn to_json_value(&self) -> Json {
+        self.to_json_with_id(None)
+    }
+
+    /// [`Request::to_json_value`] with a correlation id.  The server
+    /// echoes the id on every reply line for this request, so multiple
+    /// in-flight requests can share one connection — the fleet
+    /// coordinator's peer pool depends on this.
+    pub fn to_json_with_id(&self, id: Option<u64>) -> Json {
+        let mut m: Vec<(String, Json)> = Vec::new();
         match self {
-            Request::Status => Json::Obj(vec![("cmd".to_string(), Json::str("status"))]),
-            Request::Metrics => Json::Obj(vec![("cmd".to_string(), Json::str("metrics"))]),
-            Request::Shutdown => Json::Obj(vec![("cmd".to_string(), Json::str("shutdown"))]),
+            Request::Status => m.push(("cmd".to_string(), Json::str("status"))),
+            Request::Metrics => m.push(("cmd".to_string(), Json::str("metrics"))),
+            Request::Shutdown => m.push(("cmd".to_string(), Json::str("shutdown"))),
+            Request::Enlist => m.push(("cmd".to_string(), Json::str("enlist"))),
             Request::Submit(spec) => {
-                let mut m = vec![
-                    ("cmd".to_string(), Json::str("submit")),
-                    ("circuit".to_string(), spec.circuit.to_json_value()),
-                ];
-                if spec.workers != 0 {
-                    m.push(("workers".to_string(), Json::int(spec.workers)));
-                }
-                if let Some(t) = spec.gc_threshold {
-                    m.push(("gc_threshold".to_string(), Json::int(t)));
-                }
-                if spec.output_model {
-                    m.push(("output_model".to_string(), Json::Bool(true)));
-                }
-                if spec.collapse {
-                    m.push(("collapse".to_string(), Json::Bool(true)));
-                }
-                if spec.no_random {
-                    m.push(("no_random".to_string(), Json::Bool(true)));
-                }
-                if spec.pp_random {
-                    m.push(("pp_random".to_string(), Json::Bool(true)));
-                }
-                if let Some(k) = spec.k {
-                    m.push(("k".to_string(), Json::int(k)));
-                }
-                if let Some(b) = spec.pattern_budget {
-                    m.push(("pattern_budget".to_string(), Json::int(b)));
-                }
-                Json::Obj(m)
+                m.push(("cmd".to_string(), Json::str("submit")));
+                job_fields(spec, &mut m);
+            }
+            Request::ShardSubmit(spec) => {
+                m.push(("cmd".to_string(), Json::str("shard_submit")));
+                job_fields(&spec.job, &mut m);
+                m.push((
+                    "classes".to_string(),
+                    Json::Arr(spec.classes.iter().map(|&c| Json::int(c)).collect()),
+                ));
+            }
+            Request::Broadcast { shard, class, test } => {
+                m.push(("cmd".to_string(), Json::str("broadcast")));
+                m.push(("shard".to_string(), Json::int(*shard)));
+                m.push(("class".to_string(), Json::int(*class)));
+                m.push(("test".to_string(), test_to_json(test)));
             }
         }
+        if let Some(id) = id {
+            m.push(("id".to_string(), Json::int(id)));
+        }
+        Json::Obj(m)
     }
 
     /// Parses one protocol line.
@@ -238,52 +415,65 @@ impl Request {
     /// A human-readable message on malformed JSON, unknown commands,
     /// missing fields or out-of-range knobs.
     pub fn parse(line: &str) -> Result<Request, String> {
+        Request::parse_with_id(line).map(|(req, _)| req)
+    }
+
+    /// [`Request::parse`] plus the optional `id` correlation field.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::parse`]; a non-integer `id` is also an error.
+    pub fn parse_with_id(line: &str) -> Result<(Request, Option<u64>), String> {
         let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let id = match v.get("id") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(j.as_usize().ok_or("`id` must be a non-negative integer")? as u64),
+        };
         let cmd = v
             .get("cmd")
             .and_then(Json::as_str)
             .ok_or("request must carry a string `cmd`")?;
-        match cmd {
-            "status" => Ok(Request::Status),
-            "metrics" => Ok(Request::Metrics),
-            "shutdown" => Ok(Request::Shutdown),
-            "submit" => {
-                let circuit =
-                    CircuitSpec::from_json(v.get("circuit").ok_or("submit requires `circuit`")?)?;
-                let usize_knob = |key: &str, max: usize| -> Result<Option<usize>, String> {
-                    match v.get(key) {
-                        None | Some(Json::Null) => Ok(None),
-                        Some(j) => {
-                            let n = j
-                                .as_usize()
-                                .ok_or(format!("`{key}` must be a non-negative integer"))?;
-                            if n > max {
-                                return Err(format!("`{key}` {n} exceeds the cap {max}"));
-                            }
-                            Ok(Some(n))
-                        }
-                    }
+        let req = match cmd {
+            "status" => Request::Status,
+            "metrics" => Request::Metrics,
+            "shutdown" => Request::Shutdown,
+            "enlist" => Request::Enlist,
+            "submit" => Request::Submit(Box::new(job_from_json(&v)?)),
+            "shard_submit" => {
+                let job = job_from_json(&v)?;
+                let arr = match v.get("classes") {
+                    Some(Json::Arr(a)) => a,
+                    _ => return Err("shard_submit requires a `classes` array".to_string()),
                 };
-                let bool_knob = |key: &str| -> Result<bool, String> {
-                    match v.get(key) {
-                        None | Some(Json::Null) => Ok(false),
-                        Some(j) => j.as_bool().ok_or(format!("`{key}` must be a boolean")),
-                    }
-                };
-                Ok(Request::Submit(Box::new(JobSpec {
-                    circuit,
-                    workers: usize_knob("workers", MAX_JOB_WORKERS)?.unwrap_or(0),
-                    gc_threshold: usize_knob("gc_threshold", usize::MAX / 2)?,
-                    output_model: bool_knob("output_model")?,
-                    collapse: bool_knob("collapse")?,
-                    no_random: bool_knob("no_random")?,
-                    pp_random: bool_knob("pp_random")?,
-                    k: usize_knob("k", MAX_K)?,
-                    pattern_budget: usize_knob("pattern_budget", usize::MAX / 2)?.map(|b| b as u64),
-                })))
+                if arr.len() > MAX_SHARD_CLASSES {
+                    return Err(format!(
+                        "`classes` count {} exceeds the cap {MAX_SHARD_CLASSES}",
+                        arr.len()
+                    ));
+                }
+                let classes = arr
+                    .iter()
+                    .map(|c| {
+                        c.as_usize()
+                            .ok_or("`classes` entries must be non-negative integers".to_string())
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                Request::ShardSubmit(Box::new(ShardSpec { job, classes }))
             }
-            other => Err(format!("unknown command `{other}`")),
-        }
+            "broadcast" => Request::Broadcast {
+                shard: v
+                    .get("shard")
+                    .and_then(Json::as_usize)
+                    .ok_or("broadcast requires an integer `shard`")? as u64,
+                class: v
+                    .get("class")
+                    .and_then(Json::as_usize)
+                    .ok_or("broadcast requires an integer `class`")?,
+                test: test_from_json(v.get("test").ok_or("broadcast requires `test`")?)?,
+            },
+            other => return Err(format!("unknown command `{other}`")),
+        };
+        Ok((req, id))
     }
 }
 
@@ -425,6 +615,68 @@ pub mod event {
             ("shutdown".to_string(), Json::Bool(true)),
         ])
     }
+
+    /// Appends the request's correlation `id` to a reply event (no-op
+    /// when the request carried none).
+    pub fn with_id(ev: Json, id: Option<u64>) -> Json {
+        match (ev, id) {
+            (Json::Obj(mut m), Some(id)) => {
+                m.push(("id".to_string(), Json::int(id)));
+                Json::Obj(m)
+            }
+            (ev, _) => ev,
+        }
+    }
+
+    /// Answers an `enlist` handshake.
+    pub fn enlisted() -> Json {
+        Json::Obj(vec![
+            ("event".to_string(), Json::str("enlisted")),
+            ("protocol".to_string(), Json::int(PROTOCOL_VERSION)),
+        ])
+    }
+
+    /// A shard session started.
+    pub fn shard_accepted(shard: u64, classes: usize) -> Json {
+        Json::Obj(vec![
+            ("event".to_string(), Json::str("shard_accepted")),
+            ("shard".to_string(), Json::int(shard)),
+            ("classes".to_string(), Json::int(classes)),
+        ])
+    }
+
+    /// One computed class verdict of a shard session.
+    pub fn shard_verdict(shard: u64, class: usize, verdict: &FaultStatus) -> Json {
+        let mut m = vec![
+            ("event".to_string(), Json::str("shard_verdict")),
+            ("shard".to_string(), Json::int(shard)),
+            ("class".to_string(), Json::int(class)),
+        ];
+        m.extend(verdict_fields(verdict));
+        Json::Obj(m)
+    }
+
+    /// A shard session's terminal event: every class was either computed
+    /// (`shard_verdict` streamed) or dropped against a broadcast test.
+    pub fn shard_result(shard: u64, computed: usize, dropped: usize) -> Json {
+        Json::Obj(vec![
+            ("event".to_string(), Json::str("shard_result")),
+            ("shard".to_string(), Json::int(shard)),
+            ("computed".to_string(), Json::int(computed)),
+            ("dropped".to_string(), Json::int(dropped)),
+        ])
+    }
+
+    /// Acknowledges a broadcast relay.  `known` is `false` when the
+    /// target shard session already finished — stale relays are normal
+    /// under completion races and harmless (the merge recomputes).
+    pub fn broadcast_ok(shard: u64, known: bool) -> Json {
+        Json::Obj(vec![
+            ("event".to_string(), Json::str("broadcast_ok")),
+            ("shard".to_string(), Json::int(shard)),
+            ("known".to_string(), Json::Bool(known)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -475,6 +727,89 @@ mod tests {
     }
 
     #[test]
+    fn fleet_requests_round_trip() {
+        round_trip(Request::Enlist);
+        round_trip(Request::ShardSubmit(Box::new(ShardSpec {
+            job: JobSpec::new(CircuitSpec::Bench {
+                name: "converta".into(),
+                style: "si".into(),
+            }),
+            classes: vec![0, 3, 7, 8],
+        })));
+        round_trip(Request::Broadcast {
+            shard: 12,
+            class: 3,
+            test: TestSequence::from_u64(5, &[0b10110, 0, 0b00001]),
+        });
+        // A >64-bit pattern must survive the bitstring form exactly.
+        let wide = TestSequence {
+            patterns: vec![Pattern::from_fn(100, |i| i % 3 == 0)],
+        };
+        round_trip(Request::Broadcast {
+            shard: 1,
+            class: 0,
+            test: wide,
+        });
+    }
+
+    #[test]
+    fn correlation_ids_round_trip_and_echo() {
+        for req in [
+            Request::Status,
+            Request::Enlist,
+            Request::Submit(Box::new(JobSpec::new(CircuitSpec::Bench {
+                name: "converta".into(),
+                style: "si".into(),
+            }))),
+        ] {
+            let line = req.to_json_with_id(Some(41)).render();
+            assert_eq!(
+                Request::parse_with_id(&line),
+                Ok((req.clone(), Some(41))),
+                "{line}"
+            );
+            // Without an id the field is absent and parses as None.
+            let bare = req.to_json_value().render();
+            assert!(!bare.contains("\"id\""));
+            assert_eq!(Request::parse_with_id(&bare), Ok((req, None)));
+        }
+        // The reply-side tag matches what the request carried.
+        let tagged = event::with_id(event::enlisted(), Some(41));
+        let v = Json::parse(&tagged.render()).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_usize), Some(41));
+        assert_eq!(
+            v.get("protocol").and_then(Json::as_usize),
+            Some(PROTOCOL_VERSION as usize)
+        );
+        // No id → no tag.
+        assert!(!event::with_id(event::enlisted(), None)
+            .render()
+            .contains("\"id\""));
+        assert!(Request::parse_with_id("{\"cmd\":\"status\",\"id\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn verdicts_round_trip() {
+        use satpg_core::UntestableReason;
+        for v in [
+            FaultStatus::Detected {
+                sequence: TestSequence::from_u64(3, &[0b101, 0b010]),
+            },
+            FaultStatus::Untestable(UntestableReason::NoDistinguishingSequence),
+            FaultStatus::Aborted,
+        ] {
+            let ev = event::shard_verdict(9, 4, &v);
+            let parsed = Json::parse(&ev.render()).unwrap();
+            assert_eq!(parsed.get("shard").and_then(Json::as_usize), Some(9));
+            assert_eq!(parsed.get("class").and_then(Json::as_usize), Some(4));
+            assert_eq!(verdict_from_json(&parsed), Ok(v));
+        }
+        assert!(verdict_from_json(&Json::parse("{\"status\":\"odd\"}").unwrap()).is_err());
+        assert!(test_from_json(&Json::parse("[\"01x\"]").unwrap()).is_err());
+        assert!(test_from_json(&Json::parse("[\"\"]").unwrap()).is_err());
+    }
+
+    #[test]
     fn malformed_requests_are_rejected_with_messages() {
         for (line, needle) in [
             ("", "JSON error"),
@@ -501,6 +836,19 @@ mod tests {
             (
                 "{\"cmd\":\"submit\",\"circuit\":{\"family\":\"muller\"}}",
                 "size",
+            ),
+            (
+                "{\"cmd\":\"shard_submit\",\"circuit\":{\"bench\":\"x\"}}",
+                "classes",
+            ),
+            (
+                "{\"cmd\":\"shard_submit\",\"circuit\":{\"bench\":\"x\"},\"classes\":[-1]}",
+                "classes",
+            ),
+            ("{\"cmd\":\"broadcast\",\"shard\":1,\"class\":0}", "test"),
+            (
+                "{\"cmd\":\"broadcast\",\"shard\":1,\"class\":0,\"test\":[17]}",
+                "bitstring",
             ),
         ] {
             let err = Request::parse(line).unwrap_err();

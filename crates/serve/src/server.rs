@@ -22,16 +22,19 @@
 //! runs, so daemon-lifetime memory stays bounded.
 
 use crate::cache::{fnv64, SessionCache, SingleFlight};
-use crate::job::resolve_circuit;
+use crate::fleet::{run_fleet_built, FleetConfig};
+use crate::job::{job_atpg_config, resolve_circuit};
 use crate::net::{read_line_capped, write_line, Conn, Listener};
-use crate::proto::{event, JobSpec, Request, MAX_LINE_BYTES};
+use crate::proto::{event, CircuitSpec, JobSpec, Request, ShardSpec, MAX_LINE_BYTES};
 use satpg_core::json::Json;
+use satpg_core::stages::FaultPlan;
 use satpg_core::{
-    build_cssg_sharded, faults_for, AtpgConfig, CssgConfig, FaultModel, ThreePhaseConfig,
+    build_cssg_sharded, fault_simulate, faults_for, three_phase, Cssg, CssgConfig, FaultStatus,
+    TestSequence,
 };
 use satpg_engine::{run_engine_on_streaming, EngineConfig, EngineEvent, EngineSink};
-use satpg_netlist::to_ckt;
-use std::collections::VecDeque;
+use satpg_netlist::{to_ckt, Circuit};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -57,6 +60,21 @@ pub struct ServeConfig {
     /// Directory for per-job Chrome trace-event files; `None` leaves
     /// the span collector uninstalled (spans cost one atomic load).
     pub trace_out: Option<PathBuf>,
+    /// Fleet peers (`host:port` / `unix:/path` daemon addresses).  When
+    /// non-empty this daemon is a coordinator: submitted jobs are
+    /// partitioned across the peers instead of running locally, with
+    /// local recomputation covering whatever the fleet loses.
+    pub peers: Vec<String>,
+    /// Concurrent shard sessions this daemon accepts as a fleet peer.
+    pub max_shards: usize,
+    /// Classes per fleet shard; `0` sizes chunks automatically.
+    pub fleet_chunk: usize,
+    /// Reconnect attempts per lost peer before giving up on it.
+    pub fleet_retries: usize,
+    /// Milliseconds of in-flight silence before a peer is declared lost.
+    pub fleet_timeout_ms: u64,
+    /// Base reconnect backoff in milliseconds (doubled per attempt).
+    pub fleet_backoff_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +87,25 @@ impl Default for ServeConfig {
             default_job_workers: 0,
             gc_threshold: None,
             trace_out: None,
+            peers: Vec::new(),
+            max_shards: 16,
+            fleet_chunk: 0,
+            fleet_retries: 2,
+            fleet_timeout_ms: 10_000,
+            fleet_backoff_ms: 50,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The coordinator-side fleet tuning this config denotes.
+    pub fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            peers: self.peers.clone(),
+            chunk: self.fleet_chunk,
+            max_retries: self.fleet_retries,
+            peer_timeout_ms: self.fleet_timeout_ms,
+            backoff_ms: self.fleet_backoff_ms,
         }
     }
 }
@@ -134,6 +171,17 @@ struct State {
     /// shutdown waits for this to drain so a completed job's final
     /// report is not cut off by process exit.
     streaming: AtomicUsize,
+    /// Fleet shard sessions currently executing on this daemon (as a
+    /// peer); bounded by `max_shards`, drained at shutdown like
+    /// `streaming`.
+    shards_running: AtomicUsize,
+    /// Coordinator-side fleet totals across jobs, surfaced in `status`
+    /// so an operator (and the fault-injection suite) can see requeues.
+    fleet_campaigns: AtomicUsize,
+    fleet_retries: AtomicUsize,
+    fleet_peer_deaths: AtomicUsize,
+    fleet_remote_verdicts: AtomicUsize,
+    fleet_fallbacks: AtomicUsize,
     started: Instant,
 }
 
@@ -171,6 +219,12 @@ impl Server {
             peak_bdd_nodes: AtomicUsize::new(0),
             events_dropped: AtomicUsize::new(0),
             streaming: AtomicUsize::new(0),
+            shards_running: AtomicUsize::new(0),
+            fleet_campaigns: AtomicUsize::new(0),
+            fleet_retries: AtomicUsize::new(0),
+            fleet_peer_deaths: AtomicUsize::new(0),
+            fleet_remote_verdicts: AtomicUsize::new(0),
+            fleet_fallbacks: AtomicUsize::new(0),
             started: Instant::now(),
         });
         if state.cfg.trace_out.is_some() {
@@ -225,10 +279,14 @@ impl Server {
             let _ = h.join();
         }
         // Every job channel is closed now; give connections that are
-        // still flushing a finished job's events a bounded grace period
-        // so process exit does not truncate their final report.
+        // still flushing a finished job's events — and shard sessions a
+        // coordinator is still counting on — a bounded grace period so
+        // process exit does not truncate their final report.
         let deadline = Instant::now() + Duration::from_secs(5);
-        while self.state.streaming.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        while (self.state.streaming.load(Ordering::SeqCst) > 0
+            || self.state.shards_running.load(Ordering::SeqCst) > 0)
+            && Instant::now() < deadline
+        {
             std::thread::sleep(Duration::from_millis(5));
         }
         Ok(())
@@ -383,116 +441,62 @@ fn execute(state: &Arc<State>, job: &QueuedJob) {
     }
 }
 
-fn execute_inner(state: &Arc<State>, job: &QueuedJob, ckey: u64) {
-    let send = |ev: Json| {
-        let _ = job.tx.send(ev);
-    };
-    let fail = |msg: &str| {
-        send(event::error(job.id, msg));
-        state.jobs_failed.fetch_add(1, Ordering::SeqCst);
-    };
-    let m = satpg_trace::metrics();
-
-    // --- Circuit: content-hash lookup, then parse/synthesize. ---
+/// Circuit lookup by content hash: cache hit, or resolve and fill.
+fn cached_circuit(
+    state: &Arc<State>,
+    spec: &CircuitSpec,
+    ckey: u64,
+) -> Result<(Arc<Circuit>, &'static str), String> {
     let cached = state.cache.lock().expect("cache lock").get_circuit(ckey);
-    let (ckt, ckt_cache) = match cached {
+    let out = match cached {
         Some(c) => (c, "hit"),
-        None => match resolve_circuit(&job.spec.circuit) {
-            Ok(c) => {
-                let c = Arc::new(c);
-                state.cache.lock().expect("cache lock").put_circuit(
-                    ckey,
-                    c.clone(),
-                    job.spec.circuit.cache_text().len(),
-                );
-                (c, "miss")
-            }
-            Err(msg) => return fail(&msg),
-        },
+        None => {
+            let c = Arc::new(resolve_circuit(spec)?);
+            state.cache.lock().expect("cache lock").put_circuit(
+                ckey,
+                c.clone(),
+                spec.cache_text().len(),
+            );
+            (c, "miss")
+        }
     };
-    m.counter(if ckt_cache == "hit" {
-        "serve.cache.circuit_hits"
-    } else {
-        "serve.cache.circuit_misses"
-    })
-    .inc();
-    send(event::stage(
-        job.id,
-        "circuit",
-        vec![
-            ("cache".to_string(), Json::str(ckt_cache)),
-            ("name".to_string(), Json::str(ckt.name())),
-            ("gates".to_string(), Json::int(ckt.num_gates())),
-            ("inputs".to_string(), Json::int(ckt.num_inputs())),
-        ],
-    ));
-
-    // --- Engine configuration (also decides the CSSG build fan-out:
-    // the abstraction builds with the job's worker count). ---
-    let cfg = EngineConfig {
-        atpg: AtpgConfig {
-            cssg: CssgConfig {
-                k: job.spec.k,
-                pattern_budget: job.spec.pattern_budget,
-                ..CssgConfig::default()
-            },
-            random: if job.spec.no_random {
-                None
-            } else {
-                Some(satpg_core::RandomTpgConfig {
-                    pattern_parallel: job.spec.pp_random,
-                    ..Default::default()
-                })
-            },
-            fault_model: if job.spec.output_model {
-                FaultModel::OutputStuckAt
-            } else {
-                FaultModel::InputStuckAt
-            },
-            collapse: job.spec.collapse,
-            fault_sim: true,
-            three_phase: ThreePhaseConfig::scaled(&ckt),
-        },
-        workers: if job.spec.workers == 0 {
-            state.cfg.default_job_workers
+    satpg_trace::metrics()
+        .counter(if out.1 == "hit" {
+            "serve.cache.circuit_hits"
         } else {
-            job.spec.workers
-        },
-        broadcast: true,
-        symbolic_audit: true,
-        gc_threshold: job.spec.gc_threshold.or(state.cfg.gc_threshold),
-        cssg_shards: 0,
-        settle_por: true,
-        settle_cap: None,
-    };
+            "serve.cache.circuit_misses"
+        })
+        .inc();
+    Ok(out)
+}
 
-    // --- CSSG: keyed by canonical netlist text + transition bound + a
-    // settle-policy signature (POR flag, cap policy, fast path), the
-    // same key for sharded and serial builds (identical structure) but
-    // distinct keys for POR and naive walks — their graphs agree only
-    // where the naive walk completes, so they must not alias.
-    // Concurrent misses on one key single-flight through `cssg_flight`:
-    // the first requester builds, later ones block and then hit.
-    let skey: CssgKey = (
-        fnv64(to_ckt(&ckt).as_bytes()),
-        job.spec.k,
-        settle_signature(&cfg.atpg.cssg),
-    );
-    let shards = cfg.build_shards();
-    let (cssg, cssg_cache, us_cssg) = loop {
+/// CSSG lookup: keyed by canonical netlist text + transition bound + a
+/// settle-policy signature (POR flag, cap policy, fast path), the same
+/// key for sharded and serial builds (identical structure) but distinct
+/// keys for POR and naive walks — their graphs agree only where the
+/// naive walk completes, so they must not alias.  Concurrent misses on
+/// one key single-flight through `cssg_flight`: the first requester
+/// builds, later ones block and then hit.
+fn cached_cssg(
+    state: &Arc<State>,
+    ckt: &Circuit,
+    ccfg: &CssgConfig,
+    skey: CssgKey,
+    shards: usize,
+) -> Result<(Arc<Cssg>, &'static str, u128), String> {
+    let out = loop {
         if let Some(g) = state.cache.lock().expect("cache lock").get_cssg(skey) {
             break (g, "hit", 0u128);
         }
         if state.cssg_flight.begin(skey) {
             // Double-check under the claim: the previous builder may
             // have filled the cache between our miss and the claim.
-            // Peek, not get — the miss was already counted above.
             if let Some(g) = state.cache.lock().expect("cache lock").peek_cssg(skey) {
                 state.cssg_flight.finish(&skey);
                 break (g, "hit", 0u128);
             }
             let t0 = Instant::now();
-            let built = build_cssg_sharded(&ckt, &cfg.atpg.cssg, shards);
+            let built = build_cssg_sharded(ckt, ccfg, shards);
             let outcome = match built {
                 Ok(g) => {
                     let g = Arc::new(g);
@@ -511,7 +515,7 @@ fn execute_inner(state: &Arc<State>, job: &QueuedJob, ckey: u64) {
             state.cssg_flight.finish(&skey);
             match outcome {
                 Ok(hit) => break hit,
-                Err(msg) => return fail(&msg),
+                Err(msg) => return Err(msg),
             }
         } else {
             state.cssg_waits.fetch_add(1, Ordering::SeqCst);
@@ -520,18 +524,126 @@ fn execute_inner(state: &Arc<State>, job: &QueuedJob, ckey: u64) {
             // build this requester becomes the next builder.
         }
     };
-    m.counter(if cssg_cache == "hit" {
-        "serve.cache.cssg_hits"
-    } else {
-        "serve.cache.cssg_misses"
-    })
-    .inc();
+    satpg_trace::metrics()
+        .counter(if out.1 == "hit" {
+            "serve.cache.cssg_hits"
+        } else {
+            "serve.cache.cssg_misses"
+        })
+        .inc();
+    Ok(out)
+}
+
+fn execute_inner(state: &Arc<State>, job: &QueuedJob, ckey: u64) {
+    let send = |ev: Json| {
+        let _ = job.tx.send(ev);
+    };
+    let fail = |msg: &str| {
+        send(event::error(job.id, msg));
+        state.jobs_failed.fetch_add(1, Ordering::SeqCst);
+    };
+
+    // --- Circuit: content-hash lookup, then parse/synthesize. ---
+    let (ckt, ckt_cache) = match cached_circuit(state, &job.spec.circuit, ckey) {
+        Ok(hit) => hit,
+        Err(msg) => return fail(&msg),
+    };
+    send(event::stage(
+        job.id,
+        "circuit",
+        vec![
+            ("cache".to_string(), Json::str(ckt_cache)),
+            ("name".to_string(), Json::str(ckt.name())),
+            ("gates".to_string(), Json::int(ckt.num_gates())),
+            ("inputs".to_string(), Json::int(ckt.num_inputs())),
+        ],
+    ));
+
+    // --- Engine configuration (also decides the CSSG build fan-out:
+    // the abstraction builds with the job's worker count).  The flow
+    // knobs come from `job_atpg_config` — the one spec→config mapping
+    // every fleet node shares, which is what keeps a coordinator, its
+    // peers and a local run computing identical class verdicts.
+    let cfg = EngineConfig {
+        atpg: job_atpg_config(&job.spec, &ckt),
+        workers: if job.spec.workers == 0 {
+            state.cfg.default_job_workers
+        } else {
+            job.spec.workers
+        },
+        broadcast: true,
+        symbolic_audit: true,
+        gc_threshold: job.spec.gc_threshold.or(state.cfg.gc_threshold),
+        cssg_shards: 0,
+        settle_por: true,
+        settle_cap: None,
+    };
+
+    let skey: CssgKey = (
+        fnv64(to_ckt(&ckt).as_bytes()),
+        job.spec.k,
+        settle_signature(&cfg.atpg.cssg),
+    );
+    let shards = cfg.build_shards();
+    let (cssg, cssg_cache, us_cssg) = match cached_cssg(state, &ckt, &cfg.atpg.cssg, skey, shards) {
+        Ok(hit) => hit,
+        Err(msg) => return fail(&msg),
+    };
     if cssg.num_edges() == 0 {
         return fail(&satpg_core::CoreError::NoValidVectors.to_string());
     }
+    let faults = faults_for(&ckt, cfg.atpg.fault_model);
+
+    // --- Coordinator path: with peers configured, the job fans out
+    // across the fleet instead of running the local engine.  The merge
+    // inside `run_fleet_built` recomputes whatever the fleet failed to
+    // deliver, so this path's report matches the local path byte for
+    // byte regardless of peer behavior.
+    if !state.cfg.peers.is_empty() {
+        send(event::stage(
+            job.id,
+            "fleet",
+            vec![("peers".to_string(), Json::int(state.cfg.peers.len()))],
+        ));
+        let outcome = run_fleet_built(
+            &ckt,
+            &cssg,
+            &faults,
+            &cfg.atpg,
+            &job.spec,
+            &state.cfg.fleet_config(),
+            us_cssg,
+        );
+        state.fleet_campaigns.fetch_add(1, Ordering::SeqCst);
+        state
+            .fleet_retries
+            .fetch_add(outcome.stats.retries, Ordering::SeqCst);
+        state
+            .fleet_peer_deaths
+            .fetch_add(outcome.stats.peer_deaths, Ordering::SeqCst);
+        state
+            .fleet_remote_verdicts
+            .fetch_add(outcome.stats.remote_verdicts, Ordering::SeqCst);
+        state
+            .fleet_fallbacks
+            .fetch_add(outcome.stats.merge_fallbacks, Ordering::SeqCst);
+        let body = Json::Obj(vec![
+            ("report".to_string(), outcome.report.to_json_value(true)),
+            ("fleet".to_string(), outcome.stats.to_json_value()),
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    ("circuit".to_string(), Json::str(ckt_cache)),
+                    ("cssg".to_string(), Json::str(cssg_cache)),
+                ]),
+            ),
+        ]);
+        send(event::report(job.id, body));
+        state.jobs_done.fetch_add(1, Ordering::SeqCst);
+        return;
+    }
 
     // --- Engine campaign, telemetry streamed through the sink. ---
-    let faults = faults_for(&ckt, cfg.atpg.fault_model);
     let sink = ChannelSink {
         job: job.id,
         cssg_cache,
@@ -594,6 +706,36 @@ fn status_json(state: &State) -> Json {
                 ),
             ]),
         ),
+        (
+            "fleet".to_string(),
+            Json::Obj(vec![
+                ("peers".to_string(), Json::int(state.cfg.peers.len())),
+                (
+                    "campaigns".to_string(),
+                    Json::int(state.fleet_campaigns.load(Ordering::SeqCst)),
+                ),
+                (
+                    "retries".to_string(),
+                    Json::int(state.fleet_retries.load(Ordering::SeqCst)),
+                ),
+                (
+                    "peer_deaths".to_string(),
+                    Json::int(state.fleet_peer_deaths.load(Ordering::SeqCst)),
+                ),
+                (
+                    "remote_verdicts".to_string(),
+                    Json::int(state.fleet_remote_verdicts.load(Ordering::SeqCst)),
+                ),
+                (
+                    "merge_fallbacks".to_string(),
+                    Json::int(state.fleet_fallbacks.load(Ordering::SeqCst)),
+                ),
+                (
+                    "shards_running".to_string(),
+                    Json::int(state.shards_running.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
         ("cache".to_string(), cache),
         ("netlist_cache_bytes".to_string(), Json::int(netlist_bytes)),
         ("cssg_cache_entries".to_string(), Json::int(cssg_entries)),
@@ -625,38 +767,137 @@ fn status_json(state: &State) -> Json {
     ])
 }
 
-fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
+/// Writes one event line under the connection's writer lock.  The lock
+/// is what lets a shard executor stream verdicts from its own thread
+/// while the request loop answers broadcasts on the same socket.
+fn send_event(writer: &Mutex<Conn>, ev: &Json) -> io::Result<()> {
+    write_line(&mut *writer.lock().expect("conn write lock"), &ev.render())
+}
+
+/// A live shard session on this daemon acting as a fleet peer.
+struct ShardSession {
+    /// `(class, test)` pairs relayed by the coordinator's `broadcast`
+    /// requests: appended by the connection thread, drained by cursor in
+    /// [`execute_shard`] between classes.  Append-only, so a cursor is
+    /// enough and no relay is ever lost to a race.
+    broadcasts: Mutex<Vec<(usize, TestSequence)>>,
+}
+
+fn handle_conn(state: &Arc<State>, conn: Conn) -> io::Result<()> {
     let mut reader = BufReader::new(conn.try_clone()?);
+    let writer = Arc::new(Mutex::new(conn));
+    // Shard sessions on this connection, keyed by the correlation id
+    // their `shard_submit` carried.  Connection-scoped on purpose: a
+    // coordinator owns its peer link, so broadcasts cannot cross into
+    // another coordinator's sessions.
+    let sessions: Arc<Mutex<HashMap<u64, Arc<ShardSession>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
     loop {
         let line = match read_line_capped(&mut reader, MAX_LINE_BYTES) {
             Ok(Some(l)) => l,
             Ok(None) => return Ok(()),
             Err(e) => {
                 // Over-long line: tell the peer why before dropping it.
-                let _ = write_line(&mut conn, &event::rejected(&e.to_string()).render());
+                let _ = send_event(&writer, &event::rejected(&e.to_string()));
                 return Err(e);
             }
         };
         if line.trim().is_empty() {
             continue;
         }
-        match Request::parse(&line) {
-            Err(msg) => write_line(&mut conn, &event::rejected(&msg).render())?,
-            Ok(Request::Status) => write_line(&mut conn, &status_json(state).render())?,
-            Ok(Request::Metrics) => write_line(
-                &mut conn,
-                &event::metrics(&satpg_trace::metrics().snapshot()).render(),
+        let (req, id) = match Request::parse_with_id(&line) {
+            Err(msg) => {
+                send_event(&writer, &event::rejected(&msg))?;
+                continue;
+            }
+            Ok(parsed) => parsed,
+        };
+        match req {
+            Request::Status => send_event(&writer, &event::with_id(status_json(state), id))?,
+            Request::Metrics => send_event(
+                &writer,
+                &event::with_id(event::metrics(&satpg_trace::metrics().snapshot()), id),
             )?,
-            Ok(Request::Shutdown) => {
+            Request::Shutdown => {
                 state.shutdown.store(true, Ordering::SeqCst);
                 state.queue_cv.notify_all();
-                write_line(&mut conn, &event::shutdown_ok().render())?;
+                send_event(&writer, &event::with_id(event::shutdown_ok(), id))?;
                 return Ok(());
             }
-            Ok(Request::Submit(spec)) => {
+            Request::Enlist => send_event(&writer, &event::with_id(event::enlisted(), id))?,
+            Request::Broadcast { shard, class, test } => {
+                let session = sessions.lock().expect("sessions lock").get(&shard).cloned();
+                // A finished (or never-started) session is not an error:
+                // completion races make stale relays routine, and the
+                // coordinator's merge recomputes anything a missed relay
+                // would have saved.
+                let known = match session {
+                    Some(s) => {
+                        s.broadcasts
+                            .lock()
+                            .expect("broadcast lock")
+                            .push((class, test));
+                        true
+                    }
+                    None => false,
+                };
+                send_event(
+                    &writer,
+                    &event::with_id(event::broadcast_ok(shard, known), id),
+                )?;
+            }
+            Request::ShardSubmit(spec) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    send_event(
+                        &writer,
+                        &event::with_id(event::rejected("shutting down"), id),
+                    )?;
+                    continue;
+                }
+                // Admission control mirrors the job queue's backpressure:
+                // a rejected shard is requeued by the coordinator.
+                if state.shards_running.fetch_add(1, Ordering::SeqCst) >= state.cfg.max_shards {
+                    state.shards_running.fetch_sub(1, Ordering::SeqCst);
+                    send_event(
+                        &writer,
+                        &event::with_id(
+                            event::rejected(&format!("shard capacity ({})", state.cfg.max_shards)),
+                            id,
+                        ),
+                    )?;
+                    continue;
+                }
+                let shard = id.unwrap_or_else(|| state.next_job.fetch_add(1, Ordering::SeqCst));
+                let session = Arc::new(ShardSession {
+                    broadcasts: Mutex::new(Vec::new()),
+                });
+                sessions
+                    .lock()
+                    .expect("sessions lock")
+                    .insert(shard, session.clone());
+                send_event(
+                    &writer,
+                    &event::with_id(event::shard_accepted(shard, spec.classes.len()), id),
+                )?;
+                let state = state.clone();
+                let writer = writer.clone();
+                let sessions = sessions.clone();
+                // Its own thread, not the job pool: shards must not
+                // deadlock behind queued local jobs (or each other) on a
+                // daemon that serves both roles.
+                std::thread::spawn(move || {
+                    execute_shard(&state, &writer, shard, id, &spec, &session);
+                    sessions.lock().expect("sessions lock").remove(&shard);
+                    state.shards_running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Request::Submit(spec) => {
                 if state.shutdown.load(Ordering::SeqCst) {
                     state.jobs_rejected.fetch_add(1, Ordering::SeqCst);
-                    write_line(&mut conn, &event::rejected("shutting down").render())?;
+                    send_event(
+                        &writer,
+                        &event::with_id(event::rejected("shutting down"), id),
+                    )?;
                     continue;
                 }
                 let (tx, rx) = mpsc::channel::<Json>();
@@ -665,9 +906,9 @@ fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
                     if q.len() >= state.cfg.queue_depth {
                         None
                     } else {
-                        let id = state.next_job.fetch_add(1, Ordering::SeqCst);
+                        let jid = state.next_job.fetch_add(1, Ordering::SeqCst);
                         q.push_back(QueuedJob {
-                            id,
+                            id: jid,
                             spec: *spec,
                             tx,
                         });
@@ -678,24 +919,26 @@ fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
                         satpg_trace::metrics()
                             .gauge("serve.queue_depth")
                             .set(q.len() as i64);
-                        Some((id, q.len()))
+                        Some((jid, q.len()))
                     }
                 };
                 match accepted {
                     None => {
                         state.jobs_rejected.fetch_add(1, Ordering::SeqCst);
-                        write_line(
-                            &mut conn,
-                            &event::rejected(&format!(
-                                "queue full (depth {})",
-                                state.cfg.queue_depth
-                            ))
-                            .render(),
+                        send_event(
+                            &writer,
+                            &event::with_id(
+                                event::rejected(&format!(
+                                    "queue full (depth {})",
+                                    state.cfg.queue_depth
+                                )),
+                                id,
+                            ),
                         )?;
                     }
-                    Some((id, depth)) => {
+                    Some((jid, depth)) => {
                         state.queue_cv.notify_one();
-                        write_line(&mut conn, &event::accepted(id, depth).render())?;
+                        send_event(&writer, &event::with_id(event::accepted(jid, depth), id))?;
                         // Stream until the executor drops the sender
                         // (after the final report/error event).  The
                         // streaming gauge keeps shutdown from exiting
@@ -703,7 +946,7 @@ fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
                         state.streaming.fetch_add(1, Ordering::SeqCst);
                         let mut io_result = Ok(());
                         for ev in rx {
-                            if let Err(e) = write_line(&mut conn, &ev.render()) {
+                            if let Err(e) = send_event(&writer, &event::with_id(ev, id)) {
                                 io_result = Err(e);
                                 break;
                             }
@@ -715,4 +958,114 @@ fn handle_conn(state: &Arc<State>, mut conn: Conn) -> io::Result<()> {
             }
         }
     }
+}
+
+/// Runs one fleet shard: the assigned classes in ascending serial order,
+/// each three-phase verdict streamed as a `shard_verdict` event.
+///
+/// Two screening rules keep redundant work down, both the engine
+/// worker's exact rule (`cb > ca` and the test fault-simulates to a
+/// hit) so the coordinator's serial merge replay re-derives every drop:
+/// a test found *here* screens this shard's own remaining classes, and
+/// coordinator-relayed broadcasts screen them too.
+fn execute_shard(
+    state: &Arc<State>,
+    writer: &Arc<Mutex<Conn>>,
+    shard: u64,
+    id: Option<u64>,
+    spec: &ShardSpec,
+    session: &Arc<ShardSession>,
+) {
+    let reply = |ev: Json| {
+        let _ = send_event(writer, &event::with_id(ev, id));
+    };
+
+    let _span = satpg_trace::span!("fleet.shard", shard = shard, classes = spec.classes.len());
+    let ckey = fnv64(spec.job.circuit.cache_text().as_bytes());
+    let (ckt, _) = match cached_circuit(state, &spec.job.circuit, ckey) {
+        Ok(hit) => hit,
+        Err(msg) => return reply(event::rejected(&msg)),
+    };
+    let acfg = job_atpg_config(&spec.job, &ckt);
+    let skey: CssgKey = (
+        fnv64(to_ckt(&ckt).as_bytes()),
+        spec.job.k,
+        settle_signature(&acfg.cssg),
+    );
+    let (cssg, _, _) = match cached_cssg(state, &ckt, &acfg.cssg, skey, 1) {
+        Ok(hit) => hit,
+        Err(msg) => return reply(event::rejected(&msg)),
+    };
+    if cssg.num_edges() == 0 {
+        return reply(event::rejected(
+            &satpg_core::CoreError::NoValidVectors.to_string(),
+        ));
+    }
+    let faults = faults_for(&ckt, acfg.fault_model);
+    let plan = FaultPlan::new(&ckt, &faults, acfg.collapse);
+    if spec.classes.iter().any(|&c| c >= plan.len()) {
+        return reply(event::rejected(&format!(
+            "class index out of range (plan has {} classes)",
+            plan.len()
+        )));
+    }
+
+    let m = satpg_trace::metrics();
+    m.counter("fleet.shards_executed").inc();
+    // Does `test`, found at class `ca`, screen out pending class `cb`?
+    let screens = |ca: usize, test: &TestSequence, cb: usize| -> bool {
+        cb > ca
+            && !fault_simulate(
+                &ckt,
+                &cssg,
+                test,
+                std::slice::from_ref(&plan.classes()[cb].representative),
+            )
+            .is_empty()
+    };
+    let mut pending: VecDeque<usize> = spec.classes.iter().copied().collect();
+    let mut computed = 0usize;
+    let mut dropped = 0usize;
+    let mut seen = 0usize;
+    while let Some(ci) = pending.pop_front() {
+        let fresh: Vec<(usize, TestSequence)> = {
+            let b = session.broadcasts.lock().expect("broadcast lock");
+            b[seen..].to_vec()
+        };
+        seen += fresh.len();
+        let mut ci_screened = false;
+        if acfg.fault_sim {
+            for (ca, test) in &fresh {
+                ci_screened = ci_screened || screens(*ca, test, ci);
+                pending.retain(|&cb| {
+                    let hit = screens(*ca, test, cb);
+                    dropped += usize::from(hit);
+                    !hit
+                });
+            }
+        }
+        if ci_screened {
+            dropped += 1;
+            continue;
+        }
+        let verdict = three_phase(
+            &ckt,
+            &cssg,
+            &plan.classes()[ci].representative,
+            &acfg.three_phase,
+        );
+        if acfg.fault_sim {
+            if let FaultStatus::Detected { sequence } = &verdict {
+                pending.retain(|&cb| {
+                    let hit = screens(ci, sequence, cb);
+                    dropped += usize::from(hit);
+                    !hit
+                });
+            }
+        }
+        reply(event::shard_verdict(shard, ci, &verdict));
+        m.counter("fleet.shard_verdicts").inc();
+        computed += 1;
+    }
+    reply(event::shard_result(shard, computed, dropped));
 }

@@ -354,6 +354,61 @@ fn raw_garbage_lines_get_rejected_events() {
     handle.join().unwrap().unwrap();
 }
 
+/// Correlation ids round-trip at the service level: a tagged request
+/// gets its id echoed on every reply (including every streamed job
+/// event), an untagged request gets untagged replies, and distinct ids
+/// on one connection never cross.
+#[test]
+fn correlation_ids_echo_on_every_reply() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, handle) = start(ServeConfig::default());
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut reply = |req: &str| -> Json {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        Json::parse(line.trim()).expect("reply is protocol JSON")
+    };
+    // Tagged status/metrics echo their ids back, in order.
+    for id in [7usize, 99, 1] {
+        let v = reply(&format!("{{\"cmd\":\"status\",\"id\":{id}}}"));
+        assert_eq!(v.get("id").and_then(Json::as_usize), Some(id), "{v}");
+    }
+    let v = reply("{\"cmd\":\"metrics\",\"id\":42}");
+    assert_eq!(v.get("id").and_then(Json::as_usize), Some(42), "{v}");
+    // An untagged request gets an untagged reply (old-client compat).
+    let v = reply("{\"cmd\":\"status\"}");
+    assert!(
+        v.get("id").is_none(),
+        "untagged request must not grow an id: {v}"
+    );
+    // A tagged submit tags the whole event stream through the report.
+    stream
+        .write_all(
+            b"{\"cmd\":\"submit\",\"id\":5,\"circuit\":{\"bench\":\"dff\",\"style\":\"si\"},\"workers\":1}\n",
+        )
+        .unwrap();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(line.trim()).expect("event is protocol JSON");
+        assert_eq!(
+            v.get("id").and_then(Json::as_usize),
+            Some(5),
+            "every streamed event must echo the submit id: {v}"
+        );
+        if v.get("event").and_then(Json::as_str) == Some("report") {
+            break;
+        }
+    }
+    drop(stream);
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
 #[test]
 fn twenty_sequential_jobs_keep_bdd_memory_bounded() {
     let (addr, handle) = start(ServeConfig::default());

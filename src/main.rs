@@ -28,7 +28,7 @@ use satpg::core::{
 };
 use satpg::engine::{run_engine, EngineConfig};
 use satpg::netlist::{parse_ckt, to_ckt, Circuit};
-use satpg::serve::{CircuitSpec, Client, JobSpec, ServeConfig, Server};
+use satpg::serve::{run_fleet, CircuitSpec, Client, FleetConfig, JobSpec, ServeConfig, Server};
 use satpg::stg::synth::{complex_gate, two_level, Redundancy};
 use satpg::stg::{suite, StateGraph};
 use std::path::PathBuf;
@@ -62,7 +62,14 @@ fn usage() -> ExitCode {
                   [--settle-cap N]    # fixed interleaving-set cap (default: scaled)\n          \
                   [--settle-threads N]# threads per settle; multiplies --cssg-shards\n  \
            serve  [--addr HOST:PORT|unix:PATH] [--serve-workers N] [--queue-depth N]\n          \
-                  [--cache-size N] [--workers N] [--gc-threshold N]\n  \
+                  [--cache-size N] [--workers N] [--gc-threshold N]\n          \
+                  [--peers A,B,..]    # coordinator mode: partition jobs across peers\n          \
+                  [--max-shards N] [--fleet-chunk N] [--fleet-retries N]\n          \
+                  [--fleet-timeout-ms N] [--fleet-backoff-ms N]\n  \
+           fleet  <bench|-> --peers A,B,.. [--family F --size K] [--style si|2l|2lr]\n          \
+                  [--fleet-chunk N] [--fleet-retries N] [--fleet-timeout-ms N]\n          \
+                  [--fleet-backoff-ms N] [--k N] [--output-model] [--collapse]\n          \
+                  [--no-random] [--json]   # one campaign across peer daemons\n  \
            submit <bench|-> [--addr A] [--style si|2l|2lr] [--family F --size K]\n          \
                   [--workers N] [--gc-threshold N] [--k N] [--output-model] [--collapse]\n          \
                   [--no-random] [--json]   # `-` submits .g or .ckt text from stdin\n  \
@@ -104,6 +111,12 @@ struct Opts {
     queue_depth: usize,
     cache_size: usize,
     trace_out: Option<PathBuf>,
+    peers: Vec<String>,
+    max_shards: usize,
+    fleet_chunk: usize,
+    fleet_retries: usize,
+    fleet_timeout_ms: u64,
+    fleet_backoff_ms: u64,
 }
 
 fn parse_opts(args: &[String]) -> Option<Opts> {
@@ -133,6 +146,12 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         queue_depth: 16,
         cache_size: 64,
         trace_out: None,
+        peers: Vec::new(),
+        max_shards: 16,
+        fleet_chunk: 0,
+        fleet_retries: 2,
+        fleet_timeout_ms: 10_000,
+        fleet_backoff_ms: 50,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -161,6 +180,19 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             "--queue-depth" => o.queue_depth = it.next()?.parse().ok()?,
             "--cache-size" => o.cache_size = it.next()?.parse().ok()?,
             "--trace-out" => o.trace_out = Some(PathBuf::from(it.next()?)),
+            "--peers" => {
+                o.peers = it
+                    .next()?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--max-shards" => o.max_shards = it.next()?.parse().ok()?,
+            "--fleet-chunk" => o.fleet_chunk = it.next()?.parse().ok()?,
+            "--fleet-retries" => o.fleet_retries = it.next()?.parse().ok()?,
+            "--fleet-timeout-ms" => o.fleet_timeout_ms = it.next()?.parse().ok()?,
+            "--fleet-backoff-ms" => o.fleet_backoff_ms = it.next()?.parse().ok()?,
             "-" if o.bench.is_none() => o.bench = Some("-".to_string()),
             s if !s.starts_with('-') && o.bench.is_none() => o.bench = Some(s.to_string()),
             _ => return None,
@@ -421,7 +453,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "serve" | "submit" | "status" | "metrics" | "shutdown" => {
+        "serve" | "submit" | "status" | "metrics" | "shutdown" | "fleet" => {
             let Some(o) = parse_opts(&args[1..]) else {
                 return usage();
             };
@@ -634,6 +666,12 @@ fn service_command(cmd: &str, o: &Opts) -> ExitCode {
                 default_job_workers: o.workers,
                 gc_threshold: o.gc_threshold,
                 trace_out: o.trace_out.clone(),
+                peers: o.peers.clone(),
+                max_shards: o.max_shards,
+                fleet_chunk: o.fleet_chunk,
+                fleet_retries: o.fleet_retries,
+                fleet_timeout_ms: o.fleet_timeout_ms,
+                fleet_backoff_ms: o.fleet_backoff_ms,
             };
             let server = match Server::bind(cfg) {
                 Ok(s) => s,
@@ -740,6 +778,81 @@ fn service_command(cmd: &str, o: &Opts) -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "fleet" => {
+            if o.peers.is_empty() {
+                eprintln!("error: fleet needs --peers A,B,..");
+                return ExitCode::FAILURE;
+            }
+            let circuit = match submit_spec(o) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let spec = JobSpec {
+                circuit,
+                workers: o.workers,
+                gc_threshold: o.gc_threshold,
+                output_model: o.output_model,
+                collapse: o.collapse,
+                no_random: o.no_random,
+                pp_random: o.pp_random,
+                k: o.k,
+                pattern_budget: o.pattern_budget,
+            };
+            let fc = FleetConfig {
+                peers: o.peers.clone(),
+                chunk: o.fleet_chunk,
+                max_retries: o.fleet_retries,
+                peer_timeout_ms: o.fleet_timeout_ms,
+                backoff_ms: o.fleet_backoff_ms,
+            };
+            let tracing = trace_setup(o);
+            let result = run_fleet(&spec, &fc);
+            match result {
+                Ok(out) => {
+                    trace_finish(tracing, &out.report.circuit);
+                    if o.json {
+                        let body = Json::Obj(vec![
+                            ("report".to_string(), out.report.to_json_value(true)),
+                            ("fleet".to_string(), out.stats.to_json_value()),
+                        ]);
+                        println!("{}", body.render());
+                        return ExitCode::SUCCESS;
+                    }
+                    let r = &out.report;
+                    println!(
+                        "{}: {}/{} detected ({:.2}% coverage, {:.2}% efficiency), {} untestable, {} aborted, {} tests",
+                        r.circuit,
+                        r.covered(),
+                        r.total(),
+                        r.coverage(),
+                        r.efficiency(),
+                        r.untestable(),
+                        r.aborted(),
+                        r.tests.len(),
+                    );
+                    let s = &out.stats;
+                    println!(
+                        "fleet: {} peers, {} shards, {} remote verdicts, {} broadcasts relayed, {} retries, {} peer deaths, {} merge fallbacks",
+                        s.peers,
+                        s.shards,
+                        s.remote_verdicts,
+                        s.broadcasts_relayed,
+                        s.retries,
+                        s.peer_deaths,
+                        s.merge_fallbacks,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    trace_finish(tracing, "fleet");
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
                 }
@@ -917,6 +1030,18 @@ fn print_status(status: &Json) {
                 g("evictions")
             );
         }
+    }
+    if let Some(f) = status.get("fleet") {
+        let g = |k: &str| f.get(k).and_then(Json::as_u128).unwrap_or(0);
+        println!(
+            "fleet: {} peers, {} campaigns, {} retries, {} peer deaths, {} remote verdicts, {} merge fallbacks",
+            g("peers"),
+            g("campaigns"),
+            g("retries"),
+            g("peer_deaths"),
+            g("remote_verdicts"),
+            g("merge_fallbacks")
+        );
     }
     let top = |k: &str| status.get(k).and_then(Json::as_u128).unwrap_or(0);
     println!(

@@ -1,0 +1,202 @@
+//! The fleet fault battery: a 3-peer campaign where one peer sits
+//! behind a [`FaultyPeer`] proxy that kills, drops, delays, truncates
+//! or garbles the connection at a deterministic protocol point.  Every
+//! scenario must (a) requeue the lost shard (nonzero retry counters in
+//! the report, the daemon `status` and the metrics registry) and
+//! (b) still produce a report byte-identical to serial `run_atpg` —
+//! peer loss moves work, never results (`crates/serve/DESIGN.md`).
+
+use satpg::core::json::Json;
+use satpg::core::{run_atpg, AtpgConfig, ThreePhaseConfig};
+use satpg::serve::testing::{FaultyPeer, Mischief};
+use satpg::serve::{CircuitSpec, Client, JobSpec, ServeConfig, Server};
+use satpg::stg::synth::complex_gate;
+use satpg::stg::{suite, StateGraph};
+use std::time::Duration;
+
+/// The benchmark under test.  Random TPG is disabled so every fault
+/// class reaches the distributed phase — the proxy is then guaranteed
+/// in-flight shard traffic to strike.
+const BENCH: &str = "converta";
+
+fn start(cfg: ServeConfig) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn spec() -> JobSpec {
+    JobSpec {
+        circuit: CircuitSpec::Bench {
+            name: BENCH.to_string(),
+            style: "si".to_string(),
+        },
+        workers: 2,
+        gc_threshold: None,
+        output_model: false,
+        collapse: false,
+        no_random: true,
+        pp_random: false,
+        k: None,
+        pattern_budget: None,
+    }
+}
+
+/// The serial baseline under the exact config the daemon derives from
+/// [`spec`]: paper defaults, no random stage, scaled three-phase.
+fn serial_json() -> String {
+    let stg = suite::load(BENCH).unwrap();
+    let sg = StateGraph::build(&stg).unwrap();
+    let ckt = complex_gate(&stg, &sg).unwrap();
+    let cfg = AtpgConfig {
+        random: None,
+        three_phase: ThreePhaseConfig::scaled(&ckt),
+        ..AtpgConfig::paper()
+    };
+    run_atpg(&ckt, &cfg)
+        .expect("serial ATPG runs")
+        .to_json_value(false)
+        .render()
+}
+
+/// The `report` sub-object of the daemon's final event, with the wall
+/// clock timing stripped — the byte-comparable form.
+fn daemon_report_json(report_event: &Json) -> String {
+    let report = report_event.get("report").expect("report body");
+    let Json::Obj(pairs) = report else {
+        panic!("report must be an object, got {report}")
+    };
+    let filtered: Vec<(String, Json)> = pairs
+        .iter()
+        .filter(|(k, _)| k != "timing_us")
+        .cloned()
+        .collect();
+    Json::Obj(filtered).render()
+}
+
+/// Runs one coordinated 3-peer campaign with `mischief` injected in
+/// front of the first peer; returns the final report event, the
+/// coordinator's status snapshot and its metrics snapshot.
+fn run_scenario(mischief: Mischief, timeout_ms: u64) -> (Json, Json, Json) {
+    let (p0, _) = start(ServeConfig::default());
+    let (p1, _) = start(ServeConfig::default());
+    let (p2, _) = start(ServeConfig::default());
+    let proxy = FaultyPeer::spawn(&p0, mischief).expect("proxy spawns");
+    let (coord, coord_handle) = start(ServeConfig {
+        peers: vec![proxy.addr().to_string(), p1, p2],
+        fleet_chunk: 2,
+        fleet_retries: 1,
+        fleet_timeout_ms: timeout_ms,
+        fleet_backoff_ms: 10,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&coord).expect("connect coordinator");
+    let outcome = client.submit(spec()).expect("fleet campaign completes");
+    let status = client.status().expect("status");
+    let metrics = client.metrics().expect("metrics");
+    client.shutdown().expect("shutdown");
+    coord_handle
+        .join()
+        .expect("coordinator thread")
+        .expect("coordinator run");
+    (outcome.report, status, metrics)
+}
+
+fn assert_survived(scenario: &str, report: &Json, status: &Json, metrics: &Json) {
+    assert_eq!(
+        serial_json(),
+        daemon_report_json(report),
+        "{scenario}: fleet report must be byte-identical to serial"
+    );
+    let campaign_retries = report
+        .get("fleet")
+        .and_then(|f| f.get("retries"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(
+        campaign_retries >= 1,
+        "{scenario}: the campaign must have requeued at least one class, got {report}"
+    );
+    let status_retries = status
+        .get("fleet")
+        .and_then(|f| f.get("retries"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(
+        status_retries >= 1,
+        "{scenario}: status must expose nonzero fleet.retries, got {status}"
+    );
+    let metric_retries = metrics
+        .get("counters")
+        .and_then(|c| c.get("fleet.retries"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(
+        metric_retries >= 1,
+        "{scenario}: the fleet.retries counter must be nonzero"
+    );
+}
+
+/// Control case: a faithful proxy loses nothing, retries nothing, and
+/// the report is still serial-identical.
+#[test]
+fn faithful_proxy_is_invisible() {
+    let (report, _, _) = run_scenario(Mischief::Faithful, 10_000);
+    assert_eq!(serial_json(), daemon_report_json(&report));
+    let retries = report
+        .get("fleet")
+        .and_then(|f| f.get("retries"))
+        .and_then(Json::as_usize)
+        .unwrap_or(usize::MAX);
+    assert_eq!(retries, 0, "a healthy fleet must not requeue: {report}");
+}
+
+/// The peer process dies mid-shard: one verdict of a two-class shard is
+/// delivered (reply line 3), then the connection is severed before the
+/// second — the undelivered class must requeue.
+#[test]
+fn peer_killed_mid_shard() {
+    let (report, status, metrics) = run_scenario(Mischief::KillAfter(3), 10_000);
+    assert_survived("kill", &report, &status, &metrics);
+}
+
+/// The connection drops right after `shard_accepted` (reply line 2):
+/// the whole shard is in flight with zero verdicts delivered.
+#[test]
+fn connection_dropped_before_verdicts() {
+    let (report, status, metrics) = run_scenario(Mischief::KillAfter(2), 10_000);
+    assert_survived("drop", &report, &status, &metrics);
+}
+
+/// The peer stalls: the socket stays open but every verdict arrives
+/// seconds late, past the coordinator's in-flight timeout — the
+/// watchdog must declare it lost and requeue.
+#[test]
+fn peer_delayed_past_timeout() {
+    let (report, status, metrics) = run_scenario(
+        Mischief::DelayAfter {
+            line: 2,
+            delay: Duration::from_secs(3),
+        },
+        800,
+    );
+    assert_survived("delay", &report, &status, &metrics);
+}
+
+/// The connection dies mid-line: the first verdict is truncated at its
+/// midpoint, leaving the coordinator an unterminated JSON fragment.
+#[test]
+fn connection_truncated_mid_line() {
+    let (report, status, metrics) = run_scenario(Mischief::TruncateAt(3), 10_000);
+    assert_survived("truncate", &report, &status, &metrics);
+}
+
+/// The peer replies nonsense: the first verdict line is replaced with
+/// non-JSON garbage — a speaking-but-insane peer must be declared lost
+/// just like a dead one.
+#[test]
+fn peer_replies_garbage() {
+    let (report, status, metrics) = run_scenario(Mischief::GarbageAt(3), 10_000);
+    assert_survived("garbage", &report, &status, &metrics);
+}
